@@ -1,0 +1,325 @@
+package datalink
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/rdf"
+	"repro/internal/segment"
+	"repro/internal/similarity"
+)
+
+// Benchmarks cover every experiment of DESIGN.md's index (E1-E6) plus the
+// hot paths underneath them. Experiment benches run on the small-scale
+// corpus so `go test -bench=.` stays fast; the CLI (`linkrules`)
+// regenerates the paper-scale numbers.
+
+var (
+	benchOnce   sync.Once
+	benchCorpus *Corpus
+	benchErr    error
+)
+
+func corpusForBench(b *testing.B) *Corpus {
+	b.Helper()
+	benchOnce.Do(func() {
+		ds, err := GenerateCorpus(SmallCorpusConfig(77))
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchCorpus, benchErr = BuildCorpus(ds, LearnerConfig{})
+	})
+	if benchErr != nil {
+		b.Fatalf("building bench corpus: %v", benchErr)
+	}
+	return benchCorpus
+}
+
+// BenchmarkTable1 regenerates the paper's Table 1 (experiment E1).
+func BenchmarkTable1(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := Table1(c, PaperBands())
+		if len(rows) != 4 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkSectionStats measures the full learning run that produces the
+// Section 5 corpus statistics (experiment E2).
+func BenchmarkSectionStats(b *testing.B) {
+	c := corpusForBench(b)
+	ds := c.Dataset
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := Learn(LearnerConfig{Properties: []Term{PartNumberProperty}},
+			ds.Training, ds.External, ds.Local, ds.Ontology)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m.Stats.RuleCount == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+// BenchmarkSpaceReduction computes the per-band space reduction
+// (experiment E3).
+func BenchmarkSpaceReduction(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := SpaceReduction(c, PaperBands())
+		if len(rows) != 4 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkBlockingComparison runs the candidate-generation comparison
+// (experiment E4).
+func BenchmarkBlockingComparison(b *testing.B) {
+	c := corpusForBench(b)
+	methods := DefaultBlockingMethods(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := CompareBlocking(c, methods)
+		if len(rows) != len(methods) {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkThresholdSweep relearns across support thresholds
+// (experiment E5a).
+func BenchmarkThresholdSweep(b *testing.B) {
+	c := corpusForBench(b)
+	ths := []float64{0.005, 0.02, 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ThresholdSweep(c.Dataset, LearnerConfig{}, ths); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSplitterAblation relearns with separator vs n-gram splitting
+// (experiment E5b).
+func BenchmarkSplitterAblation(b *testing.B) {
+	c := corpusForBench(b)
+	sps := []Splitter{
+		NewSeparatorSplitter(SplitterOptions{}),
+		NewNGramSplitter(3, false, SplitterOptions{}),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SplitterAblation(c.Dataset, LearnerConfig{}, sps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOrderingAblation replays decisions under alternative rule
+// orderings (experiment E5c).
+func BenchmarkOrderingAblation(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := OrderingAblation(c)
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkGeneralization runs the subsumption-generalization experiment
+// (experiment E6).
+func BenchmarkGeneralization(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := GeneralizationExperiment(c)
+		if len(rows) != 3 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+// BenchmarkCrossValidate runs the k-fold held-out evaluation
+// (experiment E7).
+func BenchmarkCrossValidate(b *testing.B) {
+	c := corpusForBench(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CrossValidate(c.Dataset, LearnerConfig{}, 3, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClassifyItem measures single-item classification, the
+// per-document cost at integration time.
+func BenchmarkClassifyItem(b *testing.B) {
+	c := corpusForBench(b)
+	values := map[Term][]string{
+		PartNumberProperty: {"CRCW0805-63V-ohm-Q7"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classifier.ClassifyValues(values)
+	}
+}
+
+// BenchmarkGenerateCorpus measures corpus synthesis.
+func BenchmarkGenerateCorpus(b *testing.B) {
+	cfg := SmallCorpusConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i)
+		if _, err := GenerateCorpus(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkSeparatorSplit(b *testing.B) {
+	sp := segment.NewSeparatorSplitter(segment.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Split("CRCW0805-63V ohm/T83.SMD_220uF")
+	}
+}
+
+func BenchmarkNGramSplit(b *testing.B) {
+	sp := segment.NewNGramSplitter(3, true, segment.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Split("CRCW0805-63V ohm/T83.SMD_220uF")
+	}
+}
+
+func BenchmarkGraphAdd(b *testing.B) {
+	p := rdf.NewIRI("http://ex.org/p")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := rdf.NewGraph()
+		for j := 0; j < 100; j++ {
+			s := rdf.NewIRI(fmt.Sprintf("http://ex.org/s%d", j))
+			g.Add(rdf.T(s, p, rdf.NewLiteral(fmt.Sprintf("v%d", j))))
+		}
+	}
+}
+
+func BenchmarkGraphMatch(b *testing.B) {
+	g := rdf.NewGraph()
+	p := rdf.NewIRI("http://ex.org/p")
+	for j := 0; j < 1000; j++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://ex.org/s%d", j%50))
+		g.Add(rdf.T(s, p, rdf.NewLiteral(fmt.Sprintf("v%d", j))))
+	}
+	s25 := rdf.NewIRI("http://ex.org/s25")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.Match(s25, p, rdf.Term{}, func(rdf.Triple) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkNTriplesRoundTrip(b *testing.B) {
+	g := rdf.NewGraph()
+	for j := 0; j < 500; j++ {
+		g.Add(rdf.T(
+			rdf.NewIRI(fmt.Sprintf("http://ex.org/s%d", j)),
+			rdf.NewIRI("http://ex.org/p"),
+			rdf.NewLiteral(fmt.Sprintf("value %d with text", j)),
+		))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := rdf.WriteNTriples(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rdf.ReadNTriples(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	m := similarity.Levenshtein{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarity("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	m := similarity.JaroWinkler{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarity("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+func BenchmarkTFIDF(b *testing.B) {
+	m := similarity.NewTFIDF()
+	corpus := make([]string, 200)
+	for i := range corpus {
+		corpus[i] = fmt.Sprintf("acme part %d resistor %d ohm", i, i*7%100)
+	}
+	m.Fit(corpus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarity("acme part 10 resistor 70 ohm", "acme part 11 resistor 77 ohm")
+	}
+}
+
+func benchRecords(n int) []blocking.Record {
+	out := make([]blocking.Record, n)
+	for i := range out {
+		out[i] = blocking.Record{
+			ID:  fmt.Sprintf("r%d", i),
+			Key: fmt.Sprintf("CRCW%04d-%dV", i%500, i%64),
+		}
+	}
+	return out
+}
+
+func BenchmarkBlockingStandard(b *testing.B) {
+	ext, loc := benchRecords(500), benchRecords(1000)
+	m := blocking.Standard{Key: blocking.PrefixKey(6)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Pairs(ext, loc)
+	}
+}
+
+func BenchmarkBlockingSortedNeighborhood(b *testing.B) {
+	ext, loc := benchRecords(500), benchRecords(1000)
+	m := blocking.SortedNeighborhood{Window: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Pairs(ext, loc)
+	}
+}
+
+func BenchmarkBlockingBigram(b *testing.B) {
+	ext, loc := benchRecords(200), benchRecords(400)
+	m := blocking.Bigram{Threshold: 0.8, MaxSublists: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Pairs(ext, loc)
+	}
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binary builds the CLI once per test run.
+func binary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "linkrules")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building CLI: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("linkrules %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestCLIExperimentsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+
+	t.Run("table1", func(t *testing.T) {
+		out := run(t, bin, "table1", "-scale", "small", "-seed", "7")
+		for _, want := range []string{"Table 1", "conf.", "paper", "measured"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+	t.Run("reduction", func(t *testing.T) {
+		out := run(t, bin, "reduction", "-scale", "small", "-seed", "7")
+		if !strings.Contains(out, "reduction") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+	t.Run("ordering", func(t *testing.T) {
+		out := run(t, bin, "ordering", "-scale", "small", "-seed", "7")
+		if !strings.Contains(out, "confidence,lift (paper)") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+	t.Run("holdout", func(t *testing.T) {
+		out := run(t, bin, "holdout", "-scale", "small", "-seed", "7", "-k", "3")
+		if !strings.Contains(out, "train (paper protocol)") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+	t.Run("keys", func(t *testing.T) {
+		out := run(t, bin, "keys", "-scale", "small", "-top", "3")
+		if !strings.Contains(out, "key(") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+	t.Run("toponyms", func(t *testing.T) {
+		out := run(t, bin, "toponyms", "-links", "300")
+		if !strings.Contains(out, "rules learned") {
+			t.Errorf("output:\n%s", out)
+		}
+	})
+}
+
+func TestCLIFilePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	rules := filepath.Join(dir, "rules.tsv")
+
+	out := run(t, bin, "datagen", "-scale", "small", "-seed", "3", "-out", corpus)
+	if !strings.Contains(out, "external.nt") {
+		t.Fatalf("datagen output:\n%s", out)
+	}
+	for _, f := range []string{"ontology.nt", "local.nt", "external.nt", "training.nt"} {
+		if _, err := os.Stat(filepath.Join(corpus, f)); err != nil {
+			t.Fatalf("missing corpus file %s: %v", f, err)
+		}
+	}
+
+	out = run(t, bin, "learn", "-data", corpus, "-rules", rules, "-th", "0.01",
+		"-property", "http://provider.example/prop#partNumber")
+	if !strings.Contains(out, "learned") {
+		t.Fatalf("learn output:\n%s", out)
+	}
+	if _, err := os.Stat(rules); err != nil {
+		t.Fatalf("rules file missing: %v", err)
+	}
+
+	out = run(t, bin, "classify", "-rules", rules,
+		"-external", filepath.Join(corpus, "external.nt"), "-limit", "2")
+	if !strings.Contains(out, "->") && !strings.Contains(out, "no external item") {
+		t.Fatalf("classify output:\n%s", out)
+	}
+}
+
+func TestCLIExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := filepath.Join(t.TempDir(), "results")
+	run(t, bin, "export", "-scale", "small", "-seed", "5", "-out", dir)
+	for _, f := range []string{"table1.txt", "table1.csv", "stats.csv", "reduction.csv", "generalize.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing export %s: %v", f, err)
+		}
+	}
+}
+
+func TestCLIUnknownCommandFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	cmd := exec.Command(bin, "bogus")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("unknown command succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown command") {
+		t.Errorf("stderr:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+// Blocking: compares the paper's rule-based space reduction against the
+// classical candidate-generation baselines its related-work section
+// cites — standard key blocking, sorted neighbourhood and bi-gram
+// indexing — on the same synthetic catalog, reporting reduction ratio,
+// pairs completeness and pairs quality. Run:
+//
+//	go run ./examples/blocking
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	datalink "repro"
+)
+
+func main() {
+	ds, err := datalink.GenerateCorpus(datalink.SmallCorpusConfig(11))
+	if err != nil {
+		log.Fatalf("generating corpus: %v", err)
+	}
+	corpus, err := datalink.BuildCorpus(ds, datalink.LearnerConfig{})
+	if err != nil {
+		log.Fatalf("learning: %v", err)
+	}
+
+	fmt.Printf("corpus: %d external items vs %d catalog items (%d true matches)\n\n",
+		ds.Training.Len(), ds.Config.CatalogSize, ds.Training.Len())
+
+	rows := datalink.CompareBlocking(corpus, datalink.DefaultBlockingMethods(corpus))
+	if err := datalink.BlockingTable(rows).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(`
+reading the table:
+  reduction ratio     fraction of the cartesian space avoided (higher = cheaper)
+  pairs completeness  fraction of true matches kept (higher = safer)
+  pairs quality       density of true matches among candidates (higher = tighter)
+
+The rule-based space is schema-free on the external side: it needs no
+shared key convention with the provider, only the learned segments —
+which is exactly the paper's setting (unknown external schema).`)
+}

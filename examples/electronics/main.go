@@ -1,0 +1,130 @@
+// Electronics: the paper's full scenario end to end on a synthetic
+// catalog — generate the corpus, learn rules, reproduce Table 1, measure
+// the space reduction, and actually link one provider item inside its
+// reduced space. Run with:
+//
+//	go run ./examples/electronics           (small scale, ~seconds)
+//	go run ./examples/electronics -paper    (paper scale, |TS|=10265)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	datalink "repro"
+)
+
+func main() {
+	paper := flag.Bool("paper", false, "run at the paper's scale (slower)")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	flag.Parse()
+
+	cfg := datalink.SmallCorpusConfig(*seed)
+	if *paper {
+		cfg = datalink.PaperCorpusConfig(*seed)
+	}
+	ds, err := datalink.GenerateCorpus(cfg)
+	if err != nil {
+		log.Fatalf("generating corpus: %v", err)
+	}
+	fmt.Printf("corpus: %d ontology classes (%d leaves), %d catalog items, |TS|=%d\n",
+		ds.Ontology.Len(), len(ds.Ontology.Leaves()), cfg.CatalogSize, ds.Training.Len())
+
+	corpus, err := datalink.BuildCorpus(ds, datalink.LearnerConfig{})
+	if err != nil {
+		log.Fatalf("learning: %v", err)
+	}
+	fmt.Printf("learned %d rules over property %s\n\n",
+		corpus.Model.Rules.Len(), datalink.PartNumberProperty.Value)
+
+	// The paper's Table 1 and the Section 5 statistics.
+	if err := datalink.SectionStatsTable(datalink.SectionStats(corpus)).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := datalink.Table1Table(datalink.Table1(corpus, datalink.PaperBands())).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := datalink.SpaceReductionTable(datalink.SpaceReduction(corpus, datalink.PaperBands())).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Take one training item that fires a rule and walk the full pipeline
+	// for it: predict classes, build the subspace, and match inside it.
+	var (
+		item  datalink.Term
+		truth datalink.Term
+		preds []datalink.Prediction
+	)
+	for _, link := range ds.Training.Links {
+		p := corpus.Classifier.Classify(link.External, ds.External)
+		if len(p) == 0 {
+			continue
+		}
+		if len(preds) == 0 || p[0].Rule.Confidence() > preds[0].Rule.Confidence() {
+			item, truth, preds = link.External, link.Local, p
+		}
+		if preds[0].Rule.Confidence() == 1 {
+			break
+		}
+	}
+	if len(preds) == 0 {
+		fmt.Println("\nno item fired any rule (rare; try another seed)")
+		return
+	}
+	fmt.Printf("\nitem %s\n", item.Value)
+	for _, p := range preds {
+		fmt.Printf("  predicted %s (conf %.2f, segment %q)\n",
+			p.Class.Value, p.Rule.Confidence(), p.Rule.Segment)
+	}
+	sr := datalink.Space(item, preds, corpus.Instances)
+	fmt.Printf("  reduced space: %d of %d (%.0fx)\n", sr.UnionSize, sr.CatalogSize, sr.ReductionFactor())
+
+	// Link inside the reduced space with a Jaro-Winkler matcher on the
+	// part-number property.
+	pipeline := &matcherPipeline{corpus: corpus, ds: ds}
+	best, found := pipeline.linkOne(item)
+	if !found {
+		fmt.Println("  no match above threshold inside the reduced space")
+		return
+	}
+	status := "WRONG"
+	if best.Local == truth {
+		status = "correct"
+	}
+	fmt.Printf("  linked to %s (score %.3f) — %s\n", best.Local.Value, best.Score, status)
+}
+
+// matcherPipeline wraps the in-space matcher for one-off linking.
+type matcherPipeline struct {
+	corpus *datalink.Corpus
+	ds     *datalink.Dataset
+}
+
+func (mp *matcherPipeline) linkOne(item datalink.Term) (datalink.Match, bool) {
+	preds := mp.corpus.Classifier.Classify(item, mp.ds.External)
+	sr := datalink.Space(item, preds, mp.corpus.Instances)
+	pairs := datalink.CandidatePairs(sr, mp.corpus.Instances)
+	if len(pairs) == 0 {
+		return datalink.Match{}, false
+	}
+	extPN := firstLiteral(mp.ds.External, item, datalink.PartNumberProperty)
+	best := datalink.Match{External: item, Score: -1}
+	for _, pr := range pairs {
+		locPN := firstLiteral(mp.ds.Local, pr[1], datalink.PartNumberProperty)
+		if s := datalink.JaroWinkler.Similarity(extPN, locPN); s > best.Score {
+			best = datalink.Match{External: item, Local: pr[1], Score: s}
+		}
+	}
+	return best, best.Score >= 0.85
+}
+
+func firstLiteral(g *datalink.Graph, item, prop datalink.Term) string {
+	if v, ok := g.FirstObject(item, prop); ok && v.IsLiteral() {
+		return v.Value
+	}
+	return ""
+}

@@ -1,0 +1,307 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func recs(prefix string, keys ...string) []Record {
+	out := make([]Record, len(keys))
+	for i, k := range keys {
+		out[i] = Record{ID: fmt.Sprintf("%s%d", prefix, i), Key: k}
+	}
+	return out
+}
+
+func pairsContain(pairs []Pair, a, b string) bool {
+	for _, p := range pairs {
+		if p.A == a && p.B == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCartesian(t *testing.T) {
+	ext := recs("e", "x", "y")
+	loc := recs("l", "p", "q", "r")
+	pairs := Cartesian{}.Pairs(ext, loc)
+	if len(pairs) != 6 {
+		t.Fatalf("cartesian pairs = %d, want 6", len(pairs))
+	}
+	if !pairsContain(pairs, "e1", "l2") {
+		t.Error("missing pair e1/l2")
+	}
+}
+
+func TestStandardBlocking(t *testing.T) {
+	ext := recs("e", "smith john", "smyth jane", "jones bob")
+	loc := recs("l", "smith j", "jones robert", "wilson x")
+	pairs := Standard{Key: PrefixKey(5)}.Pairs(ext, loc)
+	if !pairsContain(pairs, "e0", "l0") {
+		t.Error("smith/smith pair missing")
+	}
+	if !pairsContain(pairs, "e2", "l1") {
+		t.Error("jones/jones pair missing")
+	}
+	if pairsContain(pairs, "e1", "l0") {
+		t.Error("smyth/smith should be in different prefix5 blocks")
+	}
+	if len(pairs) != 2 {
+		t.Errorf("pairs = %v, want exactly 2", pairs)
+	}
+}
+
+func TestStandardBlockingEmptyKeyGeneratesNothing(t *testing.T) {
+	ext := recs("e", "", "  ")
+	loc := recs("l", "", "abc")
+	pairs := Standard{}.Pairs(ext, loc)
+	if len(pairs) != 0 {
+		t.Errorf("pairs = %v, want none for empty keys", pairs)
+	}
+}
+
+func TestPrefixKey(t *testing.T) {
+	k := PrefixKey(3)
+	if got := k("ABCDEF"); got != "abc" {
+		t.Errorf("PrefixKey = %q, want abc", got)
+	}
+	if got := k("ab"); got != "ab" {
+		t.Errorf("PrefixKey short = %q", got)
+	}
+	if got := k(" héllo "); got != "hél" {
+		t.Errorf("PrefixKey unicode = %q", got)
+	}
+}
+
+func TestSortedNeighborhood(t *testing.T) {
+	// Keys sort as: a1(e0) a2(l0) a3(e1) z9(l1)
+	ext := []Record{{ID: "e0", Key: "a1"}, {ID: "e1", Key: "a3"}}
+	loc := []Record{{ID: "l0", Key: "a2"}, {ID: "l1", Key: "z9"}}
+	pairs := SortedNeighborhood{Window: 2}.Pairs(ext, loc)
+	if !pairsContain(pairs, "e0", "l0") || !pairsContain(pairs, "e1", "l0") {
+		t.Errorf("window-2 pairs = %v", pairs)
+	}
+	if pairsContain(pairs, "e0", "l1") {
+		t.Error("window-2 paired distant records")
+	}
+	// Window 4 covers everything.
+	pairs4 := SortedNeighborhood{Window: 4}.Pairs(ext, loc)
+	if len(pairs4) != 4 {
+		t.Errorf("window-4 pairs = %v, want all 4 cross pairs", pairs4)
+	}
+}
+
+func TestSortedNeighborhoodWindowClamp(t *testing.T) {
+	ext := []Record{{ID: "e0", Key: "a"}}
+	loc := []Record{{ID: "l0", Key: "a"}}
+	pairs := SortedNeighborhood{Window: 0}.Pairs(ext, loc)
+	if len(pairs) != 1 {
+		t.Errorf("clamped window produced %v", pairs)
+	}
+	if got := (SortedNeighborhood{}).Name(); got != "sorted-neighborhood(w=2)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestSortedNeighborhoodNoSameSourcePairs(t *testing.T) {
+	ext := recs("e", "k1", "k2", "k3")
+	pairs := SortedNeighborhood{Window: 3}.Pairs(ext, nil)
+	if len(pairs) != 0 {
+		t.Errorf("same-source pairs generated: %v", pairs)
+	}
+}
+
+func TestAdaptiveSortedNeighborhood(t *testing.T) {
+	// Two clusters of similar keys far apart.
+	ext := []Record{{ID: "e0", Key: "crcw0805"}, {ID: "e1", Key: "tant83"}}
+	loc := []Record{{ID: "l0", Key: "crcw0812"}, {ID: "l1", Key: "tant99"}}
+	pairs := AdaptiveSortedNeighborhood{Threshold: 0.85}.Pairs(ext, loc)
+	if !pairsContain(pairs, "e0", "l0") {
+		t.Errorf("crcw cluster not paired: %v", pairs)
+	}
+	if !pairsContain(pairs, "e1", "l1") {
+		t.Errorf("tant cluster not paired: %v", pairs)
+	}
+	if pairsContain(pairs, "e0", "l1") || pairsContain(pairs, "e1", "l0") {
+		t.Errorf("cross-cluster pair generated: %v", pairs)
+	}
+}
+
+func TestAdaptiveMaxBlockCap(t *testing.T) {
+	// All-identical keys would grow one unbounded block; the cap splits it.
+	var ext, loc []Record
+	for i := 0; i < 50; i++ {
+		ext = append(ext, Record{ID: fmt.Sprintf("e%02d", i), Key: "same"})
+		loc = append(loc, Record{ID: fmt.Sprintf("l%02d", i), Key: "same"})
+	}
+	capped := AdaptiveSortedNeighborhood{MaxBlock: 10}.Pairs(ext, loc)
+	uncapped := AdaptiveSortedNeighborhood{MaxBlock: 1000}.Pairs(ext, loc)
+	if len(capped) >= len(uncapped) {
+		t.Errorf("cap did not reduce pairs: %d vs %d", len(capped), len(uncapped))
+	}
+	if len(uncapped) != 2500 {
+		t.Errorf("uncapped identical-key pairs = %d, want 2500", len(uncapped))
+	}
+}
+
+func TestBigramIndexKeys(t *testing.T) {
+	bg := Bigram{Threshold: 1.0}
+	keys := bg.indexKeys("ab")
+	// threshold 1.0 => single sub-list = full sorted gram list.
+	if len(keys) != 1 {
+		t.Fatalf("threshold-1 keys = %v, want 1", keys)
+	}
+	lower := bg.indexKeys("AB")
+	if keys[0] != lower[0] {
+		t.Error("bigram keys are case-sensitive")
+	}
+	if got := bg.indexKeys(""); got != nil {
+		t.Errorf("indexKeys(\"\") = %v", got)
+	}
+	// Lower threshold produces more keys (deletion variants).
+	loose := Bigram{Threshold: 0.6}.indexKeys("abcdef")
+	strict := Bigram{Threshold: 1.0}.indexKeys("abcdef")
+	if len(loose) <= len(strict) {
+		t.Errorf("loose threshold keys %d <= strict %d", len(loose), len(strict))
+	}
+}
+
+func TestBigramPairsTolerateTypos(t *testing.T) {
+	ext := []Record{{ID: "e0", Key: "CRCW0805"}}
+	loc := []Record{{ID: "l0", Key: "CRCW0805"}, {ID: "l1", Key: "CRCW08O5"}, {ID: "l2", Key: "ZZZZZZ"}}
+	pairs := Bigram{Threshold: 0.7}.Pairs(ext, loc)
+	if !pairsContain(pairs, "e0", "l0") {
+		t.Errorf("exact key not paired: %v", pairs)
+	}
+	if !pairsContain(pairs, "e0", "l1") {
+		t.Errorf("near key not paired at t=0.7: %v", pairs)
+	}
+	if pairsContain(pairs, "e0", "l2") {
+		t.Errorf("unrelated key paired: %v", pairs)
+	}
+}
+
+func TestBigramSublistCap(t *testing.T) {
+	bg := Bigram{Threshold: 0.3, MaxSublists: 5}
+	keys := bg.indexKeys("abcdefghijklmnop")
+	if len(keys) > 5 {
+		t.Errorf("cap exceeded: %d keys", len(keys))
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	m := Metrics{Candidates: 100, TotalSpace: 1000, TrueMatches: 50, CoveredMatches: 40}
+	if got := m.ReductionRatio(); got != 0.9 {
+		t.Errorf("ReductionRatio = %v", got)
+	}
+	if got := m.PairsCompleteness(); got != 0.8 {
+		t.Errorf("PairsCompleteness = %v", got)
+	}
+	if got := m.PairsQuality(); got != 0.4 {
+		t.Errorf("PairsQuality = %v", got)
+	}
+	var zero Metrics
+	if zero.ReductionRatio() != 0 || zero.PairsCompleteness() != 0 || zero.PairsQuality() != 0 {
+		t.Error("zero metrics must not divide by zero")
+	}
+	if !strings.Contains(m.String(), "candidates=100") {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	ext := recs("e", "alpha", "beta")
+	loc := recs("l", "alpha", "gamma")
+	truth := []Pair{{A: "e0", B: "l0"}, {A: "e1", B: "l1"}}
+	m := Evaluate(Standard{Key: PrefixKey(5)}, ext, loc, truth)
+	if m.TotalSpace != 4 {
+		t.Errorf("TotalSpace = %d", m.TotalSpace)
+	}
+	if m.CoveredMatches != 1 {
+		t.Errorf("CoveredMatches = %d, want 1 (only alpha/alpha in same block)", m.CoveredMatches)
+	}
+	if m.TrueMatches != 2 {
+		t.Errorf("TrueMatches = %d", m.TrueMatches)
+	}
+}
+
+// Property: every method returns only cross-source pairs that exist in
+// the input id sets, without duplicates, and never more than the
+// cartesian bound.
+func TestMethodsWellFormedProperty(t *testing.T) {
+	methods := []Method{
+		Cartesian{},
+		Standard{},
+		SortedNeighborhood{Window: 3},
+		AdaptiveSortedNeighborhood{},
+		Bigram{Threshold: 0.8, MaxSublists: 16},
+	}
+	f := func(extKeys, locKeys []string) bool {
+		if len(extKeys) > 12 {
+			extKeys = extKeys[:12]
+		}
+		if len(locKeys) > 12 {
+			locKeys = locKeys[:12]
+		}
+		ext := recs("e", extKeys...)
+		loc := recs("l", locKeys...)
+		extIDs := map[string]struct{}{}
+		for _, r := range ext {
+			extIDs[r.ID] = struct{}{}
+		}
+		locIDs := map[string]struct{}{}
+		for _, r := range loc {
+			locIDs[r.ID] = struct{}{}
+		}
+		for _, m := range methods {
+			pairs := m.Pairs(ext, loc)
+			if len(pairs) > len(ext)*len(loc) {
+				return false
+			}
+			seen := map[Pair]struct{}{}
+			for _, p := range pairs {
+				if _, ok := extIDs[p.A]; !ok {
+					return false
+				}
+				if _, ok := locIDs[p.B]; !ok {
+					return false
+				}
+				if _, dup := seen[p]; dup {
+					return false
+				}
+				seen[p] = struct{}{}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: standard blocking with identical keys always covers the
+// diagonal truth, so pairs completeness is 1.
+func TestStandardCompletenessOnCleanKeys(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n%20) + 1
+		var ext, loc []Record
+		var truth []Pair
+		for i := 0; i < size; i++ {
+			key := fmt.Sprintf("key%04d", i)
+			ext = append(ext, Record{ID: fmt.Sprintf("e%d", i), Key: key})
+			loc = append(loc, Record{ID: fmt.Sprintf("l%d", i), Key: key})
+			truth = append(truth, Pair{A: fmt.Sprintf("e%d", i), B: fmt.Sprintf("l%d", i)})
+		}
+		m := Evaluate(Standard{Key: PrefixKey(7)}, ext, loc, truth)
+		return m.PairsCompleteness() == 1
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package blocking
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCanopyGroupsSimilarKeys(t *testing.T) {
+	ext := []Record{
+		{ID: "e0", Key: "CRCW0805-100"},
+		{ID: "e1", Key: "TANT-T83-330"},
+	}
+	loc := []Record{
+		{ID: "l0", Key: "CRCW0805.100"},
+		{ID: "l1", Key: "TANT/T83/330"},
+		{ID: "l2", Key: "ZZZZZZZZZ"},
+	}
+	pairs := Canopy{Loose: 0.4, Tight: 0.8}.Pairs(ext, loc)
+	if !pairsContain(pairs, "e0", "l0") {
+		t.Errorf("similar CRCW keys not canopied: %v", pairs)
+	}
+	if !pairsContain(pairs, "e1", "l1") {
+		t.Errorf("similar TANT keys not canopied: %v", pairs)
+	}
+	if pairsContain(pairs, "e0", "l2") || pairsContain(pairs, "e1", "l2") {
+		t.Errorf("dissimilar key canopied: %v", pairs)
+	}
+}
+
+func TestCanopyDeterministic(t *testing.T) {
+	var ext, loc []Record
+	for i := 0; i < 30; i++ {
+		ext = append(ext, Record{ID: fmt.Sprintf("e%02d", i), Key: fmt.Sprintf("KEY%03d-ABC", i%7)})
+		loc = append(loc, Record{ID: fmt.Sprintf("l%02d", i), Key: fmt.Sprintf("KEY%03d.ABC", i%7)})
+	}
+	a := Canopy{}.Pairs(ext, loc)
+	b := Canopy{}.Pairs(ext, loc)
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic pair counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic pair order at %d", i)
+		}
+	}
+}
+
+func TestCanopyLooseThresholdWidens(t *testing.T) {
+	var ext, loc []Record
+	for i := 0; i < 20; i++ {
+		ext = append(ext, Record{ID: fmt.Sprintf("e%02d", i), Key: fmt.Sprintf("PART%04d", i*37)})
+		loc = append(loc, Record{ID: fmt.Sprintf("l%02d", i), Key: fmt.Sprintf("PART%04d", i*37+1)})
+	}
+	strict := Canopy{Loose: 0.9, Tight: 0.95}.Pairs(ext, loc)
+	lenient := Canopy{Loose: 0.3, Tight: 0.95}.Pairs(ext, loc)
+	if len(lenient) <= len(strict) {
+		t.Errorf("loose threshold did not widen: strict=%d lenient=%d", len(strict), len(lenient))
+	}
+}
+
+func TestCanopyEmptyKeysProduceNothing(t *testing.T) {
+	ext := []Record{{ID: "e0", Key: ""}}
+	loc := []Record{{ID: "l0", Key: ""}}
+	if pairs := (Canopy{}).Pairs(ext, loc); len(pairs) != 0 {
+		t.Errorf("empty keys paired: %v", pairs)
+	}
+}
+
+func TestCanopyName(t *testing.T) {
+	if got := (Canopy{}).Name(); got != "canopy(q=2,loose=0.40,tight=0.70)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestDiceOverlapEdgeCases(t *testing.T) {
+	if got := diceOverlap(nil, nil); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	a := map[string]struct{}{"ab": {}}
+	if got := diceOverlap(a, nil); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	if got := diceOverlap(a, a); got != 1 {
+		t.Errorf("identical = %v", got)
+	}
+}

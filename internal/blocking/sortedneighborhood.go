@@ -1,0 +1,163 @@
+package blocking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/similarity"
+)
+
+// SortedNeighborhood implements the sorted-neighbourhood method: all
+// records (both sources) are sorted by a sorting key and a fixed-size
+// window slides over the sorted list; cross-source records co-resident in
+// a window become candidates.
+type SortedNeighborhood struct {
+	// Window is the sliding window size (number of records); values < 2
+	// are treated as 2 (a window of 1 can never pair anything).
+	Window int
+	// Key derives the sorting key; nil uses the record key lower-cased.
+	Key KeyFunc
+}
+
+// sortedEntry tags each record with its source for the merged sort.
+type sortedEntry struct {
+	id       string
+	key      string
+	external bool
+}
+
+func mergedSorted(external, local []Record, key KeyFunc) []sortedEntry {
+	if key == nil {
+		key = func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+	}
+	entries := make([]sortedEntry, 0, len(external)+len(local))
+	for _, r := range external {
+		entries = append(entries, sortedEntry{id: r.ID, key: key(r.Key), external: true})
+	}
+	for _, r := range local {
+		entries = append(entries, sortedEntry{id: r.ID, key: key(r.Key), external: false})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		// Stable tie-break: externals before locals, then by id.
+		if entries[i].external != entries[j].external {
+			return entries[i].external
+		}
+		return entries[i].id < entries[j].id
+	})
+	return entries
+}
+
+// Pairs implements Method.
+func (sn SortedNeighborhood) Pairs(external, local []Record) []Pair {
+	w := sn.Window
+	if w < 2 {
+		w = 2
+	}
+	entries := mergedSorted(external, local, sn.Key)
+	ps := pairSet{}
+	for i := range entries {
+		hi := i + w
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		for j := i + 1; j < hi; j++ {
+			a, b := entries[i], entries[j]
+			switch {
+			case a.external && !b.external:
+				ps.add(a.id, b.id)
+			case !a.external && b.external:
+				ps.add(b.id, a.id)
+			}
+		}
+	}
+	return ps.slice()
+}
+
+// Name implements Method.
+func (sn SortedNeighborhood) Name() string {
+	w := sn.Window
+	if w < 2 {
+		w = 2
+	}
+	return fmt.Sprintf("sorted-neighborhood(w=%d)", w)
+}
+
+// AdaptiveSortedNeighborhood grows blocks instead of sliding a fixed
+// window (Yan et al. 2007): consecutive sorted records stay in the same
+// block while their keys remain similar; a similarity drop below the
+// threshold starts a new block. Candidates are cross-source pairs within
+// each block.
+type AdaptiveSortedNeighborhood struct {
+	// Threshold is the key-similarity boundary in [0,1]; 0 means 0.8.
+	Threshold float64
+	// MaxBlock caps block size as a safety net against degenerate key
+	// distributions; 0 means 64.
+	MaxBlock int
+	// Key derives the sorting key; nil uses the record key lower-cased.
+	Key KeyFunc
+	// Sim scores adjacent keys; nil means Jaro-Winkler.
+	Sim similarity.Measure
+}
+
+// Pairs implements Method.
+func (asn AdaptiveSortedNeighborhood) Pairs(external, local []Record) []Pair {
+	threshold := asn.Threshold
+	if threshold == 0 {
+		threshold = 0.8
+	}
+	maxBlock := asn.MaxBlock
+	if maxBlock == 0 {
+		maxBlock = 64
+	}
+	sim := asn.Sim
+	if sim == nil {
+		sim = similarity.JaroWinkler{}
+	}
+	entries := mergedSorted(external, local, asn.Key)
+	ps := pairSet{}
+	emit := func(block []sortedEntry) {
+		for i := range block {
+			for j := i + 1; j < len(block); j++ {
+				a, b := block[i], block[j]
+				switch {
+				case a.external && !b.external:
+					ps.add(a.id, b.id)
+				case !a.external && b.external:
+					ps.add(b.id, a.id)
+				}
+			}
+		}
+	}
+	var block []sortedEntry
+	for i, e := range entries {
+		if len(block) == 0 {
+			block = append(block, e)
+			continue
+		}
+		if len(block) >= maxBlock || sim.Similarity(entries[i-1].key, e.key) < threshold {
+			emit(block)
+			block = block[:0]
+		}
+		block = append(block, e)
+	}
+	emit(block)
+	return ps.slice()
+}
+
+// Name implements Method.
+func (asn AdaptiveSortedNeighborhood) Name() string {
+	threshold := asn.Threshold
+	if threshold == 0 {
+		threshold = 0.8
+	}
+	return fmt.Sprintf("adaptive-sn(t=%.2f)", threshold)
+}
+
+var (
+	_ Method = SortedNeighborhood{}
+	_ Method = AdaptiveSortedNeighborhood{}
+)

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/segment"
+)
+
+// Prediction is one class predicted for an external item, justified by
+// the best rule that fired for it.
+type Prediction struct {
+	Class rdf.Term
+	Rule  Rule
+}
+
+// Classifier applies a rule set to external items. It indexes rules by
+// (property, segment) so classification of one item costs the number of
+// its segments, not the number of rules. Safe for concurrent use.
+type Classifier struct {
+	splitter   segment.Splitter
+	properties []rdf.Term
+	// bySegment maps property -> segment -> rules sorted best-first.
+	bySegment map[rdf.Term]map[string][]Rule
+}
+
+// NewClassifier builds a classifier over the rules using the given
+// splitter (nil means the paper's default separator splitter, which must
+// match the splitter used at learning time to be meaningful).
+func NewClassifier(rs *RuleSet, sp segment.Splitter) *Classifier {
+	if sp == nil {
+		sp = segment.NewSeparatorSplitter(segment.Options{})
+	}
+	c := &Classifier{
+		splitter:  sp,
+		bySegment: map[rdf.Term]map[string][]Rule{},
+	}
+	propSet := map[rdf.Term]struct{}{}
+	for _, r := range rs.Rules {
+		propSet[r.Property] = struct{}{}
+		m := c.bySegment[r.Property]
+		if m == nil {
+			m = map[string][]Rule{}
+			c.bySegment[r.Property] = m
+		}
+		m[r.Segment] = append(m[r.Segment], r)
+	}
+	for _, m := range c.bySegment {
+		for seg := range m {
+			rules := m[seg]
+			sort.Slice(rules, func(i, j int) bool { return rules[i].Less(rules[j]) })
+		}
+	}
+	for p := range propSet {
+		c.properties = append(c.properties, p)
+	}
+	sort.Slice(c.properties, func(i, j int) bool {
+		return c.properties[i].Compare(c.properties[j]) < 0
+	})
+	return c
+}
+
+// Properties returns the properties the classifier consults, sorted.
+func (c *Classifier) Properties() []rdf.Term {
+	return append([]rdf.Term(nil), c.properties...)
+}
+
+// Classify predicts classes for the external item described in se. The
+// result is deduplicated by class — two rules selecting the same subspace
+// keep only the better one, per the paper — and ordered by confidence
+// then lift (best first). A nil result means no rule fired.
+func (c *Classifier) Classify(item rdf.Term, se *rdf.Graph) []Prediction {
+	values := map[rdf.Term][]string{}
+	for _, p := range c.properties {
+		for _, o := range se.Objects(item, p) {
+			if o.IsLiteral() {
+				values[p] = append(values[p], o.Value)
+			}
+		}
+	}
+	return c.ClassifyValues(values)
+}
+
+// ClassifyValues predicts classes from raw property values, for callers
+// that do not hold an RDF graph (e.g. streaming provider documents).
+func (c *Classifier) ClassifyValues(values map[rdf.Term][]string) []Prediction {
+	segs := make(map[rdf.Term][]string, len(values))
+	for p, vs := range values {
+		for _, v := range vs {
+			segs[p] = append(segs[p], c.splitter.Split(v)...)
+		}
+	}
+	return c.ClassifySegments(segs)
+}
+
+// ClassifySegments predicts classes from pre-split segments, for callers
+// that already hold the segment decomposition (e.g. the evaluation
+// harness replaying a learner's training index).
+func (c *Classifier) ClassifySegments(segments map[rdf.Term][]string) []Prediction {
+	best := map[rdf.Term]Rule{}
+	for p, segs := range segments {
+		segIndex := c.bySegment[p]
+		if segIndex == nil {
+			continue
+		}
+		for _, a := range segs {
+			for _, r := range segIndex[a] {
+				cur, ok := best[r.Class]
+				if !ok || r.Less(cur) {
+					best[r.Class] = r
+				}
+			}
+		}
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	out := make([]Prediction, 0, len(best))
+	for cls, r := range best {
+		out = append(out, Prediction{Class: cls, Rule: r})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i].Rule, out[j].Rule
+		if ri.Less(rj) {
+			return true
+		}
+		if rj.Less(ri) {
+			return false
+		}
+		return out[i].Class.Compare(out[j].Class) < 0
+	})
+	return out
+}
+
+// Best returns the top prediction, if any.
+func (c *Classifier) Best(item rdf.Term, se *rdf.Graph) (Prediction, bool) {
+	preds := c.Classify(item, se)
+	if len(preds) == 0 {
+		return Prediction{}, false
+	}
+	return preds[0], true
+}
+
+// FiredRules returns every distinct rule that fires on the given
+// segments, without per-class deduplication or ranking — raw material for
+// alternative ordering policies (the E5 ablation).
+func (c *Classifier) FiredRules(segments map[rdf.Term][]string) []Rule {
+	seen := map[Rule]struct{}{}
+	var out []Rule
+	for p, segs := range segments {
+		segIndex := c.bySegment[p]
+		if segIndex == nil {
+			continue
+		}
+		for _, a := range segs {
+			for _, r := range segIndex[a] {
+				if _, dup := seen[r]; dup {
+					continue
+				}
+				seen[r] = struct{}{}
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// InstanceIndex resolves a class to its instance set in SL, including
+// instances of all subclasses, with memoization. It also knows the total
+// number of typed instances, the denominator of space-reduction factors.
+// Build once per catalog; safe for concurrent reads after warm-up via
+// Freeze, or use from a single goroutine.
+type InstanceIndex struct {
+	direct map[rdf.Term][]rdf.Term
+	ont    *ontology.Ontology
+	total  int
+	memo   map[rdf.Term][]rdf.Term
+}
+
+// NewInstanceIndex scans the rdf:type triples of sl.
+func NewInstanceIndex(sl *rdf.Graph, ol *ontology.Ontology) *InstanceIndex {
+	ix := &InstanceIndex{
+		direct: map[rdf.Term][]rdf.Term{},
+		ont:    ol,
+		memo:   map[rdf.Term][]rdf.Term{},
+	}
+	instances := map[rdf.Term]struct{}{}
+	sl.Match(rdf.Term{}, rdf.TypeTerm, rdf.Term{}, func(t rdf.Triple) bool {
+		if t.O == rdf.ClassTerm {
+			return true // class declarations are not instances
+		}
+		ix.direct[t.O] = append(ix.direct[t.O], t.S)
+		instances[t.S] = struct{}{}
+		return true
+	})
+	for c := range ix.direct {
+		sortTermSlice(ix.direct[c])
+	}
+	ix.total = len(instances)
+	return ix
+}
+
+// Total returns the number of distinct typed instances in the catalog.
+func (ix *InstanceIndex) Total() int { return ix.total }
+
+// Instances returns the instances of c, including those of its
+// descendants, sorted. The returned slice is shared; callers must not
+// mutate it.
+func (ix *InstanceIndex) Instances(c rdf.Term) []rdf.Term {
+	if got, ok := ix.memo[c]; ok {
+		return got
+	}
+	set := map[rdf.Term]struct{}{}
+	for _, i := range ix.direct[c] {
+		set[i] = struct{}{}
+	}
+	if ix.ont != nil {
+		for _, d := range ix.ont.Descendants(c) {
+			for _, i := range ix.direct[d] {
+				set[i] = struct{}{}
+			}
+		}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sortTermSlice(out)
+	ix.memo[c] = out
+	return out
+}
+
+// Count returns |Instances(c)| without exposing the slice.
+func (ix *InstanceIndex) Count(c rdf.Term) int { return len(ix.Instances(c)) }
+
+// Contains reports whether inst is an instance of c (or of a descendant
+// of c) by binary search over the memoized sorted instance set.
+func (ix *InstanceIndex) Contains(c, inst rdf.Term) bool {
+	insts := ix.Instances(c)
+	i := sort.Search(len(insts), func(k int) bool { return insts[k].Compare(inst) >= 0 })
+	return i < len(insts) && insts[i] == inst
+}
+
+// Freeze precomputes the instance sets of the given classes so later
+// concurrent reads hit only the memo.
+func (ix *InstanceIndex) Freeze(classes []rdf.Term) {
+	for _, c := range classes {
+		ix.Instances(c)
+	}
+}
+
+// Subspace is the linking subspace selected by one rule for one external
+// item: the pairs (item, j) for every instance j of the predicted class.
+type Subspace struct {
+	Item  rdf.Term
+	Class rdf.Term
+	Rule  Rule
+	// Size is the number of local instances in the subspace.
+	Size int
+}
+
+// SpaceReport aggregates the subspaces of one item and the resulting
+// reduction of its linking space.
+type SpaceReport struct {
+	Item      rdf.Term
+	Subspaces []Subspace
+	// UnionSize is the number of distinct local candidates across all
+	// subspaces — the item's reduced linking space.
+	UnionSize int
+	// CatalogSize is |SL| (typed instances), the naive per-item space.
+	CatalogSize int
+}
+
+// ReductionFactor is CatalogSize / UnionSize; 0 when no rule fired
+// (UnionSize 0), meaning the item's space is not reduced at all and the
+// caller must fall back to the full catalog.
+func (sr SpaceReport) ReductionFactor() float64 {
+	if sr.UnionSize == 0 {
+		return 0
+	}
+	return float64(sr.CatalogSize) / float64(sr.UnionSize)
+}
+
+// Candidates returns the union of local candidates across the item's
+// subspaces, sorted.
+func (sr *SpaceReport) candidates(ix *InstanceIndex) []rdf.Term {
+	set := map[rdf.Term]struct{}{}
+	for _, ss := range sr.Subspaces {
+		for _, inst := range ix.Instances(ss.Class) {
+			set[inst] = struct{}{}
+		}
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sortTermSlice(out)
+	return out
+}
+
+// Space computes the linking space of one external item: its ranked
+// subspaces and the union size. Predictions whose class has no local
+// instance yield empty subspaces that still appear in the report (they
+// are cheap and the expert may want to see them).
+func Space(item rdf.Term, preds []Prediction, ix *InstanceIndex) SpaceReport {
+	sr := SpaceReport{Item: item, CatalogSize: ix.Total()}
+	union := map[rdf.Term]struct{}{}
+	for _, pr := range preds {
+		insts := ix.Instances(pr.Class)
+		sr.Subspaces = append(sr.Subspaces, Subspace{
+			Item:  item,
+			Class: pr.Class,
+			Rule:  pr.Rule,
+			Size:  len(insts),
+		})
+		for _, i := range insts {
+			union[i] = struct{}{}
+		}
+	}
+	sr.UnionSize = len(union)
+	return sr
+}
+
+// CandidatePairs expands a space report into (external, local) pairs for
+// a downstream matcher, deduplicated and sorted.
+func CandidatePairs(sr SpaceReport, ix *InstanceIndex) [][2]rdf.Term {
+	cands := sr.candidates(ix)
+	out := make([][2]rdf.Term, 0, len(cands))
+	for _, l := range cands {
+		out = append(out, [2]rdf.Term{sr.Item, l})
+	}
+	return out
+}
+
+func sortTermSlice(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

@@ -1,0 +1,103 @@
+// Package core implements the paper's contribution: learning value-based
+// classification rules
+//
+//	p(X,Y) ∧ subsegment(Y,a) ⇒ c(X)
+//
+// from a training set of expert-validated same-as links between an
+// external RDF source SE (schema unknown) and a local source SL described
+// by an ontology OL, then applying the rules to predict the classes of new
+// external items so that the linking space shrinks from |SE| × |SL| to a
+// union of per-class subspaces.
+//
+// The package provides:
+//
+//   - TrainingSet / Link: the expert same-as links with provenance.
+//   - Learner (Algorithm 1 of the paper): frequent-conjunction mining over
+//     property segments and most-specific classes, with support threshold
+//     th.
+//   - Rule / RuleSet: learned rules carrying support, confidence and lift,
+//     ordered the way the paper ranks subspaces (confidence desc, then
+//     lift desc).
+//   - Classifier: applies a rule set to an external item and produces the
+//     ranked, deduplicated class predictions and linking subspaces.
+//   - Generalize: the paper's future-work extension lifting leaf rules to
+//     superclasses through the ontology.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// Link is one validated owl:sameAs link between an external data item
+// (from SE) and a local data item (from SL). The direction is part of the
+// provenance the paper assumes is stored with the links.
+type Link struct {
+	External rdf.Term
+	Local    rdf.Term
+}
+
+// TrainingSet is the set TS of validated links the rules are learned
+// from. Order is irrelevant; duplicates are tolerated by Dedup.
+type TrainingSet struct {
+	Links []Link
+}
+
+// Len returns |TS|.
+func (ts TrainingSet) Len() int { return len(ts.Links) }
+
+// Dedup returns a copy of ts with exact duplicate links removed,
+// preserving first occurrence order.
+func (ts TrainingSet) Dedup() TrainingSet {
+	seen := make(map[Link]struct{}, len(ts.Links))
+	out := make([]Link, 0, len(ts.Links))
+	for _, l := range ts.Links {
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		out = append(out, l)
+	}
+	return TrainingSet{Links: out}
+}
+
+// Validate checks that every link has IRI or blank endpoints.
+func (ts TrainingSet) Validate() error {
+	for i, l := range ts.Links {
+		if l.External.IsZero() || l.External.IsLiteral() {
+			return fmt.Errorf("core: link %d: external endpoint %v is not a resource", i, l.External)
+		}
+		if l.Local.IsZero() || l.Local.IsLiteral() {
+			return fmt.Errorf("core: link %d: local endpoint %v is not a resource", i, l.Local)
+		}
+	}
+	return nil
+}
+
+// FromGraph extracts a training set from the owl:sameAs triples of g,
+// treating subjects as external items and objects as local items (the
+// provenance convention used throughout this repository).
+func FromGraph(g *rdf.Graph) TrainingSet {
+	var ts TrainingSet
+	g.Match(rdf.Term{}, rdf.SameAsTerm, rdf.Term{}, func(t rdf.Triple) bool {
+		if !t.O.IsLiteral() {
+			ts.Links = append(ts.Links, Link{External: t.S, Local: t.O})
+		}
+		return true
+	})
+	return ts
+}
+
+// ToGraph serializes the training set as owl:sameAs triples.
+func (ts TrainingSet) ToGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, l := range ts.Links {
+		g.Add(rdf.T(l.External, rdf.SameAsTerm, l.Local))
+	}
+	return g
+}
+
+// ErrEmptyTrainingSet reports learning over an empty TS.
+var ErrEmptyTrainingSet = errors.New("core: empty training set")

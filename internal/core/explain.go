@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// RuleEvidence is the expert-facing audit of one rule: training links
+// that support it (premise and conclusion both hold) and counterexamples
+// (premise holds, conclusion does not). The paper stresses that learned
+// rules are "concise and easy to understand by an expert"; this is the
+// inspection tooling that makes that promise practical.
+type RuleEvidence struct {
+	Rule Rule
+	// Supporting holds up to the requested number of supporting links.
+	Supporting []Link
+	// Counter holds up to the requested number of counterexamples,
+	// paired with the conflicting most-specific classes observed.
+	Counter []CounterExample
+}
+
+// CounterExample is one premise-matching link whose local item belongs
+// to other classes than the rule concludes.
+type CounterExample struct {
+	Link    Link
+	Classes []rdf.Term
+}
+
+// Evidence scans the retained training index for links matching the
+// rule's premise and splits them into supporting links and
+// counterexamples, up to max of each (0 = all). The model must be the
+// one the rule was learned by (or at least share its training index).
+func (m *Model) Evidence(r Rule, max int) RuleEvidence {
+	ev := RuleEvidence{Rule: r}
+	if m.index == nil {
+		return ev
+	}
+	for _, lf := range m.index.facts {
+		set, ok := lf.segs[r.Property]
+		if !ok {
+			continue
+		}
+		if _, ok := set[r.Segment]; !ok {
+			continue
+		}
+		inClass := false
+		for _, c := range lf.classes {
+			if c == r.Class {
+				inClass = true
+				break
+			}
+		}
+		if inClass {
+			if max == 0 || len(ev.Supporting) < max {
+				ev.Supporting = append(ev.Supporting, lf.link)
+			}
+		} else if max == 0 || len(ev.Counter) < max {
+			ev.Counter = append(ev.Counter, CounterExample{
+				Link:    lf.link,
+				Classes: append([]rdf.Term(nil), lf.classes...),
+			})
+		}
+		if max > 0 && len(ev.Supporting) >= max && len(ev.Counter) >= max {
+			break
+		}
+	}
+	return ev
+}
+
+// Explanation traces a classification decision: every rule that fired
+// for the item, grouped per prediction, in ranking order.
+type Explanation struct {
+	// Values are the property values that were split.
+	Values map[rdf.Term][]string
+	// Fired lists every distinct rule that matched a segment, best
+	// first.
+	Fired []Rule
+	// Predictions is the deduplicated, ranked class list.
+	Predictions []Prediction
+}
+
+// Explain classifies the raw property values and returns the full trace.
+func (c *Classifier) Explain(values map[rdf.Term][]string) Explanation {
+	segs := make(map[rdf.Term][]string, len(values))
+	for p, vs := range values {
+		for _, v := range vs {
+			segs[p] = append(segs[p], c.splitter.Split(v)...)
+		}
+	}
+	return Explanation{
+		Values:      values,
+		Fired:       c.FiredRules(segs),
+		Predictions: c.ClassifySegments(segs),
+	}
+}
+
+// String renders the explanation for terminal display.
+func (e Explanation) String() string {
+	var b strings.Builder
+	props := make([]rdf.Term, 0, len(e.Values))
+	for p := range e.Values {
+		props = append(props, p)
+	}
+	sort.Slice(props, func(i, j int) bool { return props[i].Compare(props[j]) < 0 })
+	for _, p := range props {
+		fmt.Fprintf(&b, "%s = %q\n", localName(p), e.Values[p])
+	}
+	if len(e.Fired) == 0 {
+		b.WriteString("no rule fired\n")
+		return b.String()
+	}
+	b.WriteString("fired rules:\n")
+	for _, r := range e.Fired {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	b.WriteString("predictions:\n")
+	for i, pr := range e.Predictions {
+		fmt.Fprintf(&b, "  %d. %s (conf %.3f, lift %.1f)\n",
+			i+1, localName(pr.Class), pr.Rule.Confidence(), pr.Rule.Lift())
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func TestEvidence(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	smd := findRule(t, m.Rules, "SMD", clsTant)
+	ev := m.Evidence(smd, 0)
+	// SMD appears on: f1 (FFR), t1, t2 (Tant), c1 (Cer). Rule concludes
+	// Tant, so 2 supporting and 2 counterexamples.
+	if len(ev.Supporting) != 2 {
+		t.Errorf("supporting = %v", ev.Supporting)
+	}
+	if len(ev.Counter) != 2 {
+		t.Errorf("counter = %v", ev.Counter)
+	}
+	for _, ce := range ev.Counter {
+		if len(ce.Classes) == 0 {
+			t.Errorf("counterexample %v lacks classes", ce.Link)
+		}
+		for _, c := range ce.Classes {
+			if c == clsTant {
+				t.Errorf("counterexample %v is actually supporting", ce.Link)
+			}
+		}
+	}
+	// Counts must agree with the rule's own counters.
+	if len(ev.Supporting) != smd.JointCount {
+		t.Errorf("supporting %d != JointCount %d", len(ev.Supporting), smd.JointCount)
+	}
+	if len(ev.Supporting)+len(ev.Counter) != smd.PremiseCount {
+		t.Errorf("evidence total %d != PremiseCount %d",
+			len(ev.Supporting)+len(ev.Counter), smd.PremiseCount)
+	}
+}
+
+func TestEvidenceMaxLimit(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	ohm := findRule(t, m.Rules, "ohm", clsFFR)
+	ev := m.Evidence(ohm, 2)
+	if len(ev.Supporting) != 2 {
+		t.Errorf("supporting = %d, want capped at 2", len(ev.Supporting))
+	}
+}
+
+func TestExplain(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	cl := NewClassifier(&m.Rules, m.Config.Splitter)
+	exp := cl.Explain(map[rdf.Term][]string{pnProp: {"T83-SMD-999"}})
+	// Fired: T83⇒Tant and SMD⇒Tant (two distinct rules), prediction
+	// deduplicates to one class.
+	if len(exp.Fired) != 2 {
+		t.Errorf("fired = %v", exp.Fired)
+	}
+	if len(exp.Predictions) != 1 || exp.Predictions[0].Class != clsTant {
+		t.Errorf("predictions = %v", exp.Predictions)
+	}
+	out := exp.String()
+	for _, want := range []string{"partNumber", "fired rules:", "T83", "predictions:", "TantalumCapacitor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainNoRuleFired(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	cl := NewClassifier(&m.Rules, m.Config.Splitter)
+	exp := cl.Explain(map[rdf.Term][]string{pnProp: {"UNKNOWN"}})
+	if len(exp.Fired) != 0 || len(exp.Predictions) != 0 {
+		t.Errorf("unexpected trace: %+v", exp)
+	}
+	if !strings.Contains(exp.String(), "no rule fired") {
+		t.Errorf("String = %q", exp.String())
+	}
+}

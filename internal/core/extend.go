@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/segment"
+)
+
+// Extend incrementally incorporates newly validated links into the
+// model: the catalog receives provider deliveries over time, and each
+// freshly confirmed reconciliation should sharpen the rules without
+// re-splitting the entire history. Extend reuses the retained index for
+// existing links, processes only the new ones, and recomputes the rule
+// set; the result is exactly what Learn would produce on the union
+// (guaranteed by TestExtendEquivalentToRelearn).
+//
+// Duplicate links (already in the model) are ignored. Extend returns the
+// new model; the receiver is unchanged, so callers can keep serving the
+// old rules until the swap.
+func (m *Model) Extend(newLinks []Link, se, sl *rdf.Graph, ol *ontology.Ontology) (*Model, error) {
+	if m.index == nil {
+		return nil, fmt.Errorf("core: model has no retained index (was it deserialized?)")
+	}
+	cfg := m.Config
+	seen := make(map[Link]struct{}, len(m.index.facts))
+	for _, lf := range m.index.facts {
+		seen[lf.link] = struct{}{}
+	}
+
+	props := cfg.Properties
+	if len(props) == 0 {
+		// Property discovery must consider the new externals too.
+		old := make([]Link, 0, len(m.index.facts))
+		for _, lf := range m.index.facts {
+			old = append(old, lf.link)
+		}
+		all := append(old, newLinks...)
+		props = discoverProperties(TrainingSet{Links: all}, se)
+	}
+
+	idx := &tsIndex{classOf: map[rdf.Term]int{}}
+	segStats := segment.NewStats()
+	// Re-register existing facts (segment stats recomputed from retained
+	// segment sets would lose duplicate occurrences, so stats for old
+	// links replay their stored multiset; we keep it simple and exact by
+	// storing per-link occurrence counts at learn time — absent that, we
+	// recount from SE which is still O(old) value lookups but avoids
+	// re-splitting).
+	for _, lf := range m.index.facts {
+		idx.facts = append(idx.facts, lf)
+		for _, c := range lf.classes {
+			idx.classOf[c]++
+		}
+		for _, p := range props {
+			for _, v := range se.Objects(lf.link.External, p) {
+				if v.IsLiteral() {
+					segStats.ObserveSegments(cfg.Splitter.Split(v.Value))
+				}
+			}
+		}
+	}
+	added := 0
+	for _, link := range newLinks {
+		if _, dup := seen[link]; dup {
+			continue
+		}
+		seen[link] = struct{}{}
+		if link.External.IsZero() || link.External.IsLiteral() ||
+			link.Local.IsZero() || link.Local.IsLiteral() {
+			return nil, fmt.Errorf("core: new link %v has non-resource endpoint", link)
+		}
+		lf := linkFacts{link: link, segs: map[rdf.Term]map[string]struct{}{}}
+		for _, p := range props {
+			for _, v := range se.Objects(link.External, p) {
+				if !v.IsLiteral() {
+					continue
+				}
+				segs := cfg.Splitter.Split(v.Value)
+				if len(segs) == 0 {
+					continue
+				}
+				segStats.ObserveSegments(segs)
+				set := lf.segs[p]
+				if set == nil {
+					set = map[string]struct{}{}
+					lf.segs[p] = set
+				}
+				for _, a := range segs {
+					set[a] = struct{}{}
+				}
+			}
+		}
+		lf.classes = mostSpecificClasses(link.Local, sl, ol)
+		for _, c := range lf.classes {
+			idx.classOf[c]++
+		}
+		idx.facts = append(idx.facts, lf)
+		added++
+	}
+
+	return rebuildFromIndex(cfg, props, idx, segStats)
+}
+
+// rebuildFromIndex reruns the counting passes of Algorithm 1 over an
+// existing index. Shared by Learn (via the initial build) and Extend.
+func rebuildFromIndex(cfg LearnerConfig, props []rdf.Term, idx *tsIndex, segStats *segment.Stats) (*Model, error) {
+	n := len(idx.facts)
+	if n == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	minCount := cfg.SupportThreshold * float64(n)
+
+	premiseCount := map[propertySegment]int{}
+	for _, lf := range idx.facts {
+		for p, set := range lf.segs {
+			for a := range set {
+				premiseCount[propertySegment{p, a}]++
+			}
+		}
+	}
+	frequentPremise := map[propertySegment]int{}
+	selectedSegments := map[string]struct{}{}
+	for ps, cnt := range premiseCount {
+		if float64(cnt) > minCount {
+			frequentPremise[ps] = cnt
+			selectedSegments[ps.segment] = struct{}{}
+		}
+	}
+	frequentClass := map[rdf.Term]int{}
+	for c, cnt := range idx.classOf {
+		if float64(cnt) > minCount {
+			frequentClass[c] = cnt
+		}
+	}
+	type conjunction struct {
+		ps propertySegment
+		c  rdf.Term
+	}
+	jointCount := map[conjunction]int{}
+	for _, lf := range idx.facts {
+		for p, set := range lf.segs {
+			for a := range set {
+				ps := propertySegment{p, a}
+				if _, ok := frequentPremise[ps]; !ok {
+					continue
+				}
+				for _, c := range lf.classes {
+					if _, ok := frequentClass[c]; !ok {
+						continue
+					}
+					jointCount[conjunction{ps, c}]++
+				}
+			}
+		}
+	}
+	rules := RuleSet{}
+	classesWithRules := map[rdf.Term]struct{}{}
+	for conj, cnt := range jointCount {
+		if float64(cnt) <= minCount {
+			continue
+		}
+		rules.Rules = append(rules.Rules, Rule{
+			Property:     conj.ps.property,
+			Segment:      conj.ps.segment,
+			Class:        conj.c,
+			PremiseCount: frequentPremise[conj.ps],
+			JointCount:   cnt,
+			ClassCount:   idx.classOf[conj.c],
+			TSSize:       n,
+		})
+		classesWithRules[conj.c] = struct{}{}
+	}
+	rules.Sort()
+
+	selectedOcc := 0
+	for seg := range selectedSegments {
+		selectedOcc += segStats.Count(seg)
+	}
+	return &Model{
+		Rules:  rules,
+		Config: cfg,
+		Stats: LearnStats{
+			TSSize:                     n,
+			Properties:                 len(props),
+			DistinctSegments:           segStats.Distinct(),
+			SegmentOccurrences:         segStats.Occurrences(),
+			SelectedSegmentOccurrences: selectedOcc,
+			FrequentPairs:              len(frequentPremise),
+			CandidateClasses:           len(idx.classOf),
+			FrequentClasses:            len(frequentClass),
+			RuleCount:                  rules.Len(),
+			ClassesWithRules:           len(classesWithRules),
+		},
+		index: idx,
+	}, nil
+}
+
+// sortLinks orders links deterministically, used by tests comparing
+// models.
+func sortLinks(ls []Link) {
+	sort.Slice(ls, func(i, j int) bool {
+		if c := ls[i].External.Compare(ls[j].External); c != 0 {
+			return c < 0
+		}
+		return ls[i].Local.Compare(ls[j].Local) < 0
+	})
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestExtendAddsRules(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	// Learn on the first 7 links only (missing the ceramic capacitors).
+	partial := TrainingSet{Links: ts.Links[:7]}
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, partial, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	hasCer := false
+	for _, r := range m.Rules.Rules {
+		if r.Class == clsCer {
+			hasCer = true
+		}
+	}
+	if hasCer {
+		t.Fatal("precondition: partial model must not know ceramic capacitors")
+	}
+	m2, err := m.Extend(ts.Links[7:], se, sl, ol)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	findRule(t, m2.Rules, "CER", clsCer)
+	if m2.Stats.TSSize != 10 {
+		t.Errorf("extended TSSize = %d", m2.Stats.TSSize)
+	}
+	// Original model untouched.
+	if m.Stats.TSSize != 7 {
+		t.Errorf("original model mutated: TSSize = %d", m.Stats.TSSize)
+	}
+}
+
+func TestExtendIgnoresDuplicates(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	m2, err := m.Extend(ts.Links[:3], se, sl, ol)
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if m2.Stats.TSSize != m.Stats.TSSize {
+		t.Errorf("duplicates changed TSSize: %d vs %d", m2.Stats.TSSize, m.Stats.TSSize)
+	}
+	if m2.Rules.Len() != m.Rules.Len() {
+		t.Errorf("duplicates changed rules: %d vs %d", m2.Rules.Len(), m.Rules.Len())
+	}
+}
+
+func TestExtendRejectsBadLinks(t *testing.T) {
+	ts, se, sl, ol := fixture(t)
+	m, err := Learn(LearnerConfig{SupportThreshold: 0.1, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	bad := []Link{{External: rdf.NewLiteral("x"), Local: iri("loc/x")}}
+	if _, err := m.Extend(bad, se, sl, ol); err == nil {
+		t.Error("literal endpoint accepted by Extend")
+	}
+}
+
+// Property: Extend(batch2) after Learn(batch1) produces exactly the same
+// rules and statistics as Learn(batch1 ∪ batch2).
+func TestExtendEquivalentToRelearn(t *testing.T) {
+	f := func(seed int64, splitRaw uint8) bool {
+		ts, se, sl, ol := randomWorld(seed, 60)
+		split := int(splitRaw)%40 + 10
+		first := TrainingSet{Links: ts.Links[:split]}
+
+		base, err := Learn(LearnerConfig{SupportThreshold: 0.05, Properties: []rdf.Term{pnProp}}, first, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		extended, err := base.Extend(ts.Links[split:], se, sl, ol)
+		if err != nil {
+			return false
+		}
+		full, err := Learn(LearnerConfig{SupportThreshold: 0.05, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		if extended.Stats != full.Stats {
+			return false
+		}
+		if extended.Rules.Len() != full.Rules.Len() {
+			return false
+		}
+		for i := range full.Rules.Rules {
+			if extended.Rules.Rules[i] != full.Rules.Rules[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(67))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortLinksDeterministic(t *testing.T) {
+	links := []Link{
+		{External: iri("b"), Local: iri("2")},
+		{External: iri("a"), Local: iri("2")},
+		{External: iri("a"), Local: iri("1")},
+	}
+	sortLinks(links)
+	if links[0].External != iri("a") || links[0].Local != iri("1") {
+		t.Errorf("sortLinks order: %v", links)
+	}
+}

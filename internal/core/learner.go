@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+	"repro/internal/segment"
+)
+
+// LearnerConfig parameterizes Algorithm 1. The zero value plus a training
+// set reproduces the paper's experiment settings: every data property of
+// SE, separator splitting on non-alphanumerics, support threshold 0.002.
+type LearnerConfig struct {
+	// Properties is the expert-selected property set P. Empty means all
+	// properties of SE whose objects are literals ("all if no selection",
+	// Algorithm 1).
+	Properties []rdf.Term
+	// Splitter decomposes property values; nil means the paper's default
+	// separator splitter (split on every non-alphanumeric rune).
+	Splitter segment.Splitter
+	// SupportThreshold is th, as a fraction of |TS|; 0 means 0.002.
+	SupportThreshold float64
+}
+
+func (cfg LearnerConfig) withDefaults() LearnerConfig {
+	if cfg.Splitter == nil {
+		cfg.Splitter = segment.NewSeparatorSplitter(segment.Options{})
+	}
+	if cfg.SupportThreshold == 0 {
+		cfg.SupportThreshold = 0.002
+	}
+	return cfg
+}
+
+// LearnStats reports the corpus-level counters of a learning run — the
+// numbers Section 5 of the paper quotes alongside Table 1.
+type LearnStats struct {
+	// TSSize is |TS| after deduplication.
+	TSSize int
+	// Properties is |P| after discovery.
+	Properties int
+	// DistinctSegments is the number of distinct segments over all
+	// property values of TS's external items (paper: 7842).
+	DistinctSegments int
+	// SegmentOccurrences is the total number of segment occurrences
+	// (paper: 26077).
+	SegmentOccurrences int
+	// SelectedSegmentOccurrences is the occurrences covered by frequent
+	// (property, segment) pairs (paper: 7058).
+	SelectedSegmentOccurrences int
+	// FrequentPairs is the number of (property, segment) pairs above th.
+	FrequentPairs int
+	// CandidateClasses is the number of distinct most-specific classes
+	// carried by TS's local items (paper: 67 frequent leaf classes were
+	// described in TS).
+	CandidateClasses int
+	// FrequentClasses is the number of classes above th (paper: 68
+	// classes with more than 20 instances).
+	FrequentClasses int
+	// RuleCount is the number of rules selected (paper: 144).
+	RuleCount int
+	// ClassesWithRules is the number of distinct conclusion classes
+	// among the selected rules (paper: interesting segments for 16
+	// classes).
+	ClassesWithRules int
+}
+
+// Model is the result of a learning run: the rule set plus the retained
+// per-link index needed by evaluation and by the generalization
+// extension.
+type Model struct {
+	Rules RuleSet
+	Stats LearnStats
+	// Config echoes the effective configuration (defaults applied).
+	Config LearnerConfig
+
+	index *tsIndex
+}
+
+// tsIndex stores, for every training link, the segments of the external
+// item per property and the most-specific classes of the local item.
+type tsIndex struct {
+	facts []linkFacts
+	// classOf counts links per class (most-specific, local side).
+	classOf map[rdf.Term]int
+}
+
+type linkFacts struct {
+	link    Link
+	segs    map[rdf.Term]map[string]struct{}
+	classes []rdf.Term
+}
+
+// propertySegment is a premise atom key.
+type propertySegment struct {
+	property rdf.Term
+	segment  string
+}
+
+// Learn runs Algorithm 1 over the training set: se supplies the property
+// facts of the external items, sl the rdf:type facts of the local items,
+// ol the ontology used to reduce types to most-specific classes.
+func Learn(cfg LearnerConfig, ts TrainingSet, se, sl *rdf.Graph, ol *ontology.Ontology) (*Model, error) {
+	cfg = cfg.withDefaults()
+	ts = ts.Dedup()
+	if ts.Len() == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SupportThreshold < 0 || cfg.SupportThreshold >= 1 {
+		return nil, fmt.Errorf("core: support threshold %v out of (0,1)", cfg.SupportThreshold)
+	}
+
+	props := cfg.Properties
+	if len(props) == 0 {
+		props = discoverProperties(ts, se)
+	}
+	if len(props) == 0 {
+		return nil, fmt.Errorf("core: no literal-valued properties found for training externals")
+	}
+
+	// Pass 1 (Algorithm 1, first loop): split every property value of
+	// every external item into segments, recording per-link segment sets
+	// and corpus occurrence statistics.
+	idx := &tsIndex{classOf: map[rdf.Term]int{}}
+	segStats := segment.NewStats()
+	for _, link := range ts.Links {
+		lf := linkFacts{link: link, segs: map[rdf.Term]map[string]struct{}{}}
+		for _, p := range props {
+			for _, v := range se.Objects(link.External, p) {
+				if !v.IsLiteral() {
+					continue
+				}
+				segs := cfg.Splitter.Split(v.Value)
+				if len(segs) == 0 {
+					continue
+				}
+				segStats.ObserveSegments(segs)
+				set := lf.segs[p]
+				if set == nil {
+					set = map[string]struct{}{}
+					lf.segs[p] = set
+				}
+				for _, a := range segs {
+					set[a] = struct{}{}
+				}
+			}
+		}
+		lf.classes = mostSpecificClasses(link.Local, sl, ol)
+		for _, c := range lf.classes {
+			idx.classOf[c]++
+		}
+		idx.facts = append(idx.facts, lf)
+	}
+
+	// Passes 2-5 (premise, class and conjunction frequencies, rule
+	// emission) are shared with the incremental path.
+	return rebuildFromIndex(cfg, props, idx, segStats)
+}
+
+// discoverProperties returns every predicate of SE that carries a literal
+// value for at least one training external, sorted ("all if no
+// selection").
+func discoverProperties(ts TrainingSet, se *rdf.Graph) []rdf.Term {
+	set := map[rdf.Term]struct{}{}
+	for _, link := range ts.Links {
+		se.Match(link.External, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+			if t.O.IsLiteral() {
+				set[t.P] = struct{}{}
+			}
+			return true
+		})
+	}
+	out := make([]rdf.Term, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// mostSpecificClasses returns the most-specific asserted classes of item
+// in sl, per the ontology. Types missing from the ontology are kept as-is
+// (the paper's data is assumed conformant, but we degrade gracefully).
+func mostSpecificClasses(item rdf.Term, sl *rdf.Graph, ol *ontology.Ontology) []rdf.Term {
+	types := sl.TypesOf(item)
+	if len(types) == 0 {
+		return nil
+	}
+	if ol == nil {
+		return types
+	}
+	known := types[:0:0]
+	var unknown []rdf.Term
+	for _, t := range types {
+		if ol.Has(t) {
+			known = append(known, t)
+		} else {
+			unknown = append(unknown, t)
+		}
+	}
+	out := ol.MostSpecific(known)
+	out = append(out, unknown...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// TrueClasses exposes the most-specific classes recorded for the i-th
+// training link; evaluation uses it to score decisions without re-deriving
+// types.
+func (m *Model) TrueClasses(i int) []rdf.Term {
+	if m.index == nil || i < 0 || i >= len(m.index.facts) {
+		return nil
+	}
+	return m.index.facts[i].classes
+}
+
+// TrainingLink returns the i-th deduplicated training link.
+func (m *Model) TrainingLink(i int) Link {
+	return m.index.facts[i].link
+}
+
+// TrainingSize returns the number of deduplicated training links.
+func (m *Model) TrainingSize() int { return len(m.index.facts) }
+
+// SegmentsOf returns the recorded segments of training link i for
+// property p (nil when none).
+func (m *Model) SegmentsOf(i int, p rdf.Term) []string {
+	if m.index == nil || i < 0 || i >= len(m.index.facts) {
+		return nil
+	}
+	set := m.index.facts[i].segs[p]
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClassFrequency returns how many training links carry class c on their
+// local side.
+func (m *Model) ClassFrequency(c rdf.Term) int {
+	if m.index == nil {
+		return 0
+	}
+	return m.index.classOf[c]
+}

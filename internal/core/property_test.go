@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// randomWorld builds a randomized but valid training world from a seed:
+// a two-level ontology, externals with part numbers assembled from a
+// small token pool, and consistent links.
+func randomWorld(seed int64, nLinks int) (TrainingSet, *rdf.Graph, *rdf.Graph, *ontology.Ontology) {
+	rng := rand.New(rand.NewSource(seed))
+	ol := ontology.New()
+	root := iri("Root")
+	classes := make([]rdf.Term, 4)
+	for i := range classes {
+		classes[i] = iri(fmt.Sprintf("Class%d", i))
+		ol.AddSubClassOf(classes[i], root)
+	}
+	tokens := []string{"AA", "BB", "CC", "DD", "EE", "FF"}
+	se := rdf.NewGraph()
+	sl := rdf.NewGraph()
+	var ts TrainingSet
+	for i := 0; i < nLinks; i++ {
+		ext := iri(fmt.Sprintf("ext/%d", i))
+		loc := iri(fmt.Sprintf("loc/%d", i))
+		class := classes[rng.Intn(len(classes))]
+		pn := tokens[rng.Intn(len(tokens))] + "-" + tokens[rng.Intn(len(tokens))] +
+			fmt.Sprintf("-%d", rng.Intn(20))
+		se.Add(rdf.T(ext, pnProp, rdf.NewLiteral(pn)))
+		sl.Add(rdf.T(loc, rdf.TypeTerm, class))
+		ts.Links = append(ts.Links, Link{External: ext, Local: loc})
+	}
+	return ts, se, sl, ol
+}
+
+// Property: raising the support threshold never adds rules, and the
+// surviving rule set is exactly the subset clearing the higher bar.
+func TestLearnThresholdMonotonicity(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 20
+		ts, se, sl, ol := randomWorld(seed, n)
+		low, err := Learn(LearnerConfig{SupportThreshold: 0.05, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		high, err := Learn(LearnerConfig{SupportThreshold: 0.15, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		if high.Rules.Len() > low.Rules.Len() {
+			return false
+		}
+		lowSet := map[string]Rule{}
+		for _, r := range low.Rules.Rules {
+			lowSet[r.Segment+"|"+r.Class.Value] = r
+		}
+		for _, r := range high.Rules.Rules {
+			lr, ok := lowSet[r.Segment+"|"+r.Class.Value]
+			if !ok {
+				return false // high-threshold rule absent at low threshold
+			}
+			// Identical counts regardless of threshold.
+			if lr != r {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every learned rule's counts are internally consistent
+// (joint <= premise, joint <= classCount, all counts clear the strict
+// threshold, measures in range).
+func TestLearnRuleCountConsistency(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%60) + 20
+		th := 0.08
+		ts, se, sl, ol := randomWorld(seed, n)
+		m, err := Learn(LearnerConfig{SupportThreshold: th, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		minCount := th * float64(m.Stats.TSSize)
+		for _, r := range m.Rules.Rules {
+			if r.JointCount > r.PremiseCount || r.JointCount > r.ClassCount {
+				return false
+			}
+			if !(float64(r.JointCount) > minCount) {
+				return false
+			}
+			if !(float64(r.PremiseCount) > minCount) || !(float64(r.ClassCount) > minCount) {
+				return false
+			}
+			if r.Confidence() < 0 || r.Confidence() > 1 {
+				return false
+			}
+			if r.Support() < 0 || r.Support() > 1 {
+				return false
+			}
+			if r.Lift() < 0 {
+				return false
+			}
+			// Evidence scan must agree exactly with the mined counts.
+			ev := m.Evidence(r, 0)
+			if len(ev.Supporting) != r.JointCount {
+				return false
+			}
+			if len(ev.Supporting)+len(ev.Counter) != r.PremiseCount {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the classifier is a function of the rule set — same inputs,
+// same predictions — and predictions are always sorted per the paper
+// ordering with distinct classes.
+func TestClassifierDeterministicAndSorted(t *testing.T) {
+	f := func(seed int64, pnRaw uint16) bool {
+		ts, se, sl, ol := randomWorld(seed, 60)
+		m, err := Learn(LearnerConfig{SupportThreshold: 0.05, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		cl := NewClassifier(&m.Rules, m.Config.Splitter)
+		value := fmt.Sprintf("AA-BB-%d", pnRaw%30)
+		a := cl.ClassifyValues(map[rdf.Term][]string{pnProp: {value}})
+		b := cl.ClassifyValues(map[rdf.Term][]string{pnProp: {value}})
+		if len(a) != len(b) {
+			return false
+		}
+		seen := map[rdf.Term]struct{}{}
+		for i := range a {
+			if a[i].Class != b[i].Class || a[i].Rule != b[i].Rule {
+				return false
+			}
+			if _, dup := seen[a[i].Class]; dup {
+				return false
+			}
+			seen[a[i].Class] = struct{}{}
+			if i > 0 && a[i].Rule.Less(a[i-1].Rule) {
+				return false // out of order
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(57))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Space reports are consistent — union size never exceeds the
+// catalog, never exceeds the sum of subspace sizes, and the reduction
+// factor is >= 1 whenever any subspace is non-empty.
+func TestSpaceReportInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		ts, se, sl, ol := randomWorld(seed, 80)
+		m, err := Learn(LearnerConfig{SupportThreshold: 0.05, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		cl := NewClassifier(&m.Rules, m.Config.Splitter)
+		ix := NewInstanceIndex(sl, ol)
+		for i, link := range ts.Links {
+			if i >= 20 {
+				break
+			}
+			preds := cl.Classify(link.External, se)
+			sr := Space(link.External, preds, ix)
+			if sr.UnionSize > sr.CatalogSize {
+				return false
+			}
+			sum := 0
+			for _, ss := range sr.Subspaces {
+				sum += ss.Size
+			}
+			if sr.UnionSize > sum {
+				return false
+			}
+			if sr.UnionSize > 0 && sr.ReductionFactor() < 1 {
+				return false
+			}
+			if len(CandidatePairs(sr, ix)) != sr.UnionSize {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(59))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generalized rule sets never lose coverage — every item
+// classified by the base rules is still classified after Generalize with
+// ReplaceChildren (the parent rule fires on the same premise).
+func TestGeneralizeCoveragePreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		ts, se, sl, ol := randomWorld(seed, 80)
+		m, err := Learn(LearnerConfig{SupportThreshold: 0.05, Properties: []rdf.Term{pnProp}}, ts, se, sl, ol)
+		if err != nil {
+			return false
+		}
+		base := NewClassifier(&m.Rules, m.Config.Splitter)
+		gen := m.Generalize(ol, GeneralizeOptions{ReplaceChildren: true})
+		genCl := NewClassifier(&gen, m.Config.Splitter)
+		for i, link := range ts.Links {
+			if i >= 30 {
+				break
+			}
+			basePreds := base.Classify(link.External, se)
+			genPreds := genCl.Classify(link.External, se)
+			if len(basePreds) > 0 && len(genPreds) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,188 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// Properties of the generated provider documents and catalog entries.
+var (
+	// PartNumberProp is the provider identifier the paper's expert chose
+	// for class prediction.
+	PartNumberProp = rdf.NewIRI(PropNS + "partNumber")
+	// ManufacturerProp is the provider's manufacturer name — present but
+	// deliberately not class-indicative.
+	ManufacturerProp = rdf.NewIRI(PropNS + "manufacturer")
+)
+
+// Dataset is a fully generated corpus: ontology, catalog (SL), provider
+// documents (SE), training links (TS) and the evaluation ground truth.
+type Dataset struct {
+	Config   Config
+	Ontology *ontology.Ontology
+	// Leaves are the ontology's leaf classes in frequency-rank order
+	// (rank 0 = most frequent in TS).
+	Leaves []rdf.Term
+	// Tokenized are the leaf classes whose part numbers carry unique
+	// marker segments.
+	Tokenized []rdf.Term
+	// Local is SL: catalog instances with rdf:type and partNumber.
+	Local *rdf.Graph
+	// External is SE: provider items with partNumber and manufacturer.
+	External *rdf.Graph
+	// Training is TS, the expert same-as links.
+	Training core.TrainingSet
+	// TrueClass maps each external item to its expert class — the class
+	// of the local item its training link points to.
+	TrueClass map[rdf.Term]rdf.Term
+}
+
+// Generate builds the corpus for cfg. The same Config (including Seed)
+// always yields the identical corpus.
+func Generate(cfg Config) (*Dataset, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.CatalogSize < cfg.TrainingLinks {
+		return nil, fmt.Errorf("datagen: CatalogSize %d < TrainingLinks %d", cfg.CatalogSize, cfg.TrainingLinks)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ont, leaves, err := buildTaxonomy(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Frequency rank order: a seeded shuffle of the leaves; rank 0 is the
+	// most frequent class in TS.
+	rng.Shuffle(len(leaves), func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
+	tokenized := append([]rdf.Term(nil), leaves[:cfg.TokenizedClasses]...)
+
+	g := buildGrammar(cfg, rng, ont, tokenized, leaves)
+	manufacturers := manufacturerPool(cfg, rng)
+
+	// Zipf weights over leaf ranks for the training-set class draw.
+	tsCum := cumulativeZipf(len(leaves), cfg.ZipfExponent)
+	// Catalog class distribution: same order, flatter skew (the catalog
+	// is broader than any one provider's deliveries).
+	catCum := cumulativeZipf(len(leaves), cfg.ZipfExponent*0.75)
+
+	ds := &Dataset{
+		Config:    cfg,
+		Ontology:  ont,
+		Leaves:    leaves,
+		Tokenized: tokenized,
+		Local:     rdf.NewGraph(),
+		External:  rdf.NewGraph(),
+		TrueClass: map[rdf.Term]rdf.Term{},
+	}
+
+	// Local catalog instances, one per training link first (each expert
+	// reconciliation matches a distinct catalog product), then filler.
+	localSeq := 0
+	newLocal := func(c rdf.Term) (rdf.Term, string) {
+		id := rdf.NewIRI(fmt.Sprintf("%sP%06d", LocalNS, localSeq))
+		localSeq++
+		pn := g.partNumber(rng, c)
+		ds.Local.Add(rdf.T(id, rdf.TypeTerm, c))
+		ds.Local.Add(rdf.T(id, PartNumberProp, rdf.NewLiteral(pn)))
+		return id, pn
+	}
+
+	for i := 0; i < cfg.TrainingLinks; i++ {
+		class := leaves[drawRank(rng, tsCum)]
+		ext := rdf.NewIRI(fmt.Sprintf("%sD%06d", ExtNS, i))
+
+		labelClass := class
+		if rng.Float64() < cfg.MislabelRate {
+			labelClass = siblingOrOther(rng, ont, leaves, class)
+		}
+		local, canonical := newLocal(labelClass)
+		if labelClass != class {
+			// The provider item's part number still follows the true
+			// product's grammar; the expert linked it to a wrong catalog
+			// entry, which keeps its own part number.
+			canonical = g.partNumber(rng, class)
+		}
+		ds.External.Add(rdf.T(ext, PartNumberProp,
+			rdf.NewLiteral(providerVariant(rng, canonical, cfg.TypoRate))))
+		ds.External.Add(rdf.T(ext, ManufacturerProp,
+			rdf.NewLiteral(manufacturers[rng.Intn(len(manufacturers))])))
+		ds.Training.Links = append(ds.Training.Links, core.Link{External: ext, Local: local})
+		ds.TrueClass[ext] = labelClass
+	}
+
+	for localSeq < cfg.CatalogSize {
+		class := leaves[drawRank(rng, catCum)]
+		newLocal(class)
+	}
+	return ds, nil
+}
+
+// siblingOrOther picks a wrong class for label noise: a sibling when one
+// exists, otherwise any other leaf.
+func siblingOrOther(rng *rand.Rand, ont *ontology.Ontology, leaves []rdf.Term, c rdf.Term) rdf.Term {
+	sibs := ont.Siblings(c)
+	var leafSibs []rdf.Term
+	for _, s := range sibs {
+		if ont.IsLeaf(s) {
+			leafSibs = append(leafSibs, s)
+		}
+	}
+	if len(leafSibs) > 0 {
+		return leafSibs[rng.Intn(len(leafSibs))]
+	}
+	for {
+		other := leaves[rng.Intn(len(leaves))]
+		if other != c {
+			return other
+		}
+	}
+}
+
+// cumulativeZipf returns the cumulative distribution of 1/(rank+1)^s.
+func cumulativeZipf(n int, s float64) []float64 {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}
+
+// drawRank samples a rank from a cumulative distribution.
+func drawRank(rng *rand.Rand, cum []float64) int {
+	x := rng.Float64()
+	return sort.SearchFloat64s(cum, x)
+}
+
+// ExternalItems returns the external items in deterministic order.
+func (ds *Dataset) ExternalItems() []rdf.Term {
+	out := make([]rdf.Term, 0, len(ds.Training.Links))
+	seen := map[rdf.Term]struct{}{}
+	for _, l := range ds.Training.Links {
+		if _, dup := seen[l.External]; dup {
+			continue
+		}
+		seen[l.External] = struct{}{}
+		out = append(out, l.External)
+	}
+	return out
+}
+
+// PartNumber returns the part-number literal of an item in g, or "".
+func PartNumber(g *rdf.Graph, item rdf.Term) string {
+	if v, ok := g.FirstObject(item, PartNumberProp); ok && v.IsLiteral() {
+		return v.Value
+	}
+	return ""
+}

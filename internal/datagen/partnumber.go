@@ -1,0 +1,298 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// grammar holds the segment vocabulary driving part-number generation.
+type grammar struct {
+	// markers maps a tokenized leaf class to its unique marker segments
+	// (series codes / unit markers that identify the class).
+	markers map[rdf.Term][]markerToken
+	// shared maps a shared segment to the classes using it with weights;
+	// appearing on several classes makes its rule confidence < 1.
+	shared []sharedToken
+	// sharedByClass indexes shared tokens per class for fast draws.
+	sharedByClass map[rdf.Term][]int
+	// ubiquitous segments appear on any part number with low probability
+	// (packaging/compliance codes).
+	ubiquitous []string
+	// serialSpace bounds distinct serial chunks.
+	serialSpace int
+}
+
+type markerToken struct {
+	text string
+	prob float64 // probability of appearing on a part number of the class
+}
+
+type sharedToken struct {
+	text    string
+	classes []rdf.Term
+	// probs is the per-class appearance probability; the dominant class
+	// gets the highest, tuned so the dominant rule's confidence lands
+	// near the token's target confidence.
+	probs []float64
+}
+
+var separators = []string{"-", ".", " ", "/", "_"}
+
+// unit markers that read like the paper's examples.
+var unitMarkers = []string{
+	"ohm", "kohm", "Mohm", "uF", "nF", "pF", "mH", "uH",
+	"63V", "100V", "250V", "16V", "35V", "5W", "mA", "GHz",
+}
+
+// randSeries generates a series-code looking token such as "CRCW0805" or
+// "T83": 1-4 upper-case letters followed by 2-4 digits.
+func randSeries(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		b.WriteByte(byte('A' + rng.Intn(26)))
+	}
+	d := 2 + rng.Intn(3)
+	for i := 0; i < d; i++ {
+		b.WriteByte(byte('0' + rng.Intn(10)))
+	}
+	return b.String()
+}
+
+// buildGrammar assigns the segment vocabulary to classes. tokenized is
+// the subset of leaf classes that get unique markers; allLeaves is in
+// training-frequency rank order. ont lets family codes be shared among
+// taxonomy siblings (which is what makes the paper's subsumption
+// generalization applicable).
+func buildGrammar(cfg Config, rng *rand.Rand, ont *ontology.Ontology, tokenized, allLeaves []rdf.Term) *grammar {
+	g := &grammar{
+		markers:       map[rdf.Term][]markerToken{},
+		sharedByClass: map[rdf.Term][]int{},
+		ubiquitous:    []string{"SMD", "ROHS", "TR"},
+		serialSpace:   cfg.SerialSpace,
+	}
+	used := map[string]struct{}{}
+	for _, u := range unitMarkers {
+		used[u] = struct{}{}
+	}
+	freshSeries := func() string {
+		for {
+			s := randSeries(rng)
+			if _, dup := used[s]; !dup {
+				used[s] = struct{}{}
+				return s
+			}
+		}
+	}
+
+	// Unique markers: a mix of series codes and unit markers. Appearance
+	// probabilities are low — a given part number shows only a few of its
+	// class's markers — and vary so markers of rare classes can stay
+	// below the support threshold, as in real data.
+	unitIdx := 0
+	for _, c := range tokenized {
+		n := cfg.MarkersPerClass/2 + rng.Intn(cfg.MarkersPerClass+1)
+		if n < 1 {
+			n = 1
+		}
+		toks := make([]markerToken, 0, n)
+		for i := 0; i < n; i++ {
+			var text string
+			if i%3 == 2 && unitIdx < len(unitMarkers) {
+				text = unitMarkers[unitIdx]
+				unitIdx++
+			} else {
+				text = freshSeries()
+			}
+			toks = append(toks, markerToken{
+				text: text,
+				prob: 0.05 + 0.15*rng.Float64(),
+			})
+		}
+		g.markers[c] = toks
+	}
+
+	// Shared tokens: each lands on 2-4 classes of *similar* training
+	// frequency (adjacent ranks), with per-class appearance probabilities
+	// tuned so the dominant rule's confidence approximates a target drawn
+	// from the paper's mid bands. allLeaves is in frequency-rank order.
+	rankPool := 25
+	if rankPool > len(allLeaves)/4 {
+		rankPool = len(allLeaves) / 4
+	}
+	if rankPool < 2 {
+		rankPool = len(allLeaves) - 1
+	}
+	rankOf := make(map[rdf.Term]int, len(allLeaves))
+	for r, c := range allLeaves {
+		rankOf[c] = r
+	}
+	for i := 0; i < cfg.SharedTokens; i++ {
+		k := 2 + rng.Intn(3)
+		baseProb := 0.16 + 0.16*rng.Float64()
+		var classes []rdf.Term
+		var probs []float64
+		if i%3 == 0 && ont != nil {
+			// Family code: shared uniformly by taxonomy siblings of a
+			// frequent seed class (most frequent siblings first, so both
+			// rules can clear the support threshold). The dominant rule's
+			// confidence then follows the class-frequency split — this is
+			// what makes the paper's subsumption generalization
+			// applicable.
+			seed := allLeaves[rng.Intn(rankPool)]
+			var sibs []rdf.Term
+			for _, s := range ont.Siblings(seed) {
+				if ont.IsLeaf(s) {
+					sibs = append(sibs, s)
+				}
+			}
+			sort.Slice(sibs, func(a, b int) bool { return rankOf[sibs[a]] < rankOf[sibs[b]] })
+			classes = append(classes, seed)
+			for j := 0; j < len(sibs) && len(classes) < k; j++ {
+				classes = append(classes, sibs[j])
+			}
+			if len(classes) >= 2 {
+				probs = make([]float64, len(classes))
+				for j := range probs {
+					// Family codes are prominent: they appear on roughly
+					// half of a family member's part numbers, so sibling
+					// rules clear the support threshold together.
+					probs[j] = 0.45 + 0.15*rng.Float64()
+				}
+			}
+		}
+		if len(classes) < 2 {
+			// Packaging code: classes of similar training frequency, with
+			// per-class probabilities tuned so the dominant rule's
+			// confidence approximates a target drawn from the paper's mid
+			// bands.
+			classes = classes[:0]
+			base := rng.Intn(rankPool)
+			for j := 0; j < k && base+j < len(allLeaves); j++ {
+				classes = append(classes, allLeaves[base+j])
+			}
+			if len(classes) < 2 {
+				continue
+			}
+			targetConf := 0.25 + 0.5*rng.Float64()
+			probs = make([]float64, len(classes))
+			probs[0] = baseProb // dominant = the most frequent of the group
+			rest := (1 - targetConf) / targetConf / float64(len(classes)-1)
+			for j := 1; j < len(classes); j++ {
+				probs[j] = baseProb * rest
+				if probs[j] > 1 {
+					probs[j] = 1
+				}
+			}
+		}
+		st := sharedToken{text: freshSeries(), classes: classes, probs: probs}
+		g.shared = append(g.shared, st)
+		for _, c := range classes {
+			g.sharedByClass[c] = append(g.sharedByClass[c], len(g.shared)-1)
+		}
+	}
+	return g
+}
+
+// serial draws a serial chunk from the bounded serial space; the modulo
+// folding makes collisions follow the configured density.
+func (g *grammar) serial(rng *rand.Rand) string {
+	n := rng.Intn(g.serialSpace)
+	return strings.ToUpper(strconv.FormatInt(int64(n)+1000, 36))
+}
+
+// PartNumber generates the canonical part number of an instance of class
+// c: marker segments by their probabilities, possibly a shared segment,
+// one or two serial chunks, and rarely a ubiquitous code, joined by
+// random separators.
+func (g *grammar) partNumber(rng *rand.Rand, c rdf.Term) string {
+	var chunks []string
+	for _, mt := range g.markers[c] {
+		if rng.Float64() < mt.prob {
+			chunks = append(chunks, mt.text)
+		}
+	}
+	for _, i := range g.sharedByClass[c] {
+		st := g.shared[i]
+		for j, cl := range st.classes {
+			if cl == c && rng.Float64() < st.probs[j] {
+				chunks = append(chunks, st.text)
+				break
+			}
+		}
+	}
+	if rng.Float64() < 0.06 {
+		chunks = append(chunks, g.ubiquitous[rng.Intn(len(g.ubiquitous))])
+	}
+	chunks = append(chunks, g.serial(rng))
+	if rng.Float64() < 0.5 {
+		chunks = append(chunks, g.serial(rng))
+	}
+	if rng.Float64() < 0.15 {
+		chunks = append(chunks, g.serial(rng))
+	}
+	// Shuffle so marker position is not a signal; real part numbers have
+	// family-specific layouts, but the learner is position-blind anyway.
+	rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
+	sep := separators[rng.Intn(len(separators))]
+	return strings.Join(chunks, sep)
+}
+
+// providerVariant renders a canonical part number the way a provider
+// document would: possibly different separators and an occasional typo.
+// Marker segments survive separator changes, which is exactly why the
+// paper's approach works on provider data.
+func providerVariant(rng *rand.Rand, canonical string, typoRate float64) string {
+	out := canonical
+	// Re-render separators with one provider-chosen separator.
+	if rng.Float64() < 0.5 {
+		sep := separators[rng.Intn(len(separators))]
+		fields := strings.FieldsFunc(out, func(r rune) bool {
+			return strings.ContainsRune("-. /_", r)
+		})
+		out = strings.Join(fields, sep)
+	}
+	if rng.Float64() < typoRate && len(out) > 3 {
+		pos := rng.Intn(len(out))
+		b := []byte(out)
+		switch rng.Intn(3) {
+		case 0: // substitute
+			b[pos] = byte('A' + rng.Intn(26))
+		case 1: // delete
+			b = append(b[:pos], b[pos+1:]...)
+		default: // duplicate
+			b = append(b[:pos+1], b[pos:]...)
+		}
+		out = string(b)
+	}
+	return out
+}
+
+// manufacturerPool builds manufacturer names spanning all classes.
+func manufacturerPool(cfg Config, rng *rand.Rand) []string {
+	bases := []string{
+		"Vish", "Korn", "Muro", "Nexa", "Omni", "Pana", "Quan", "Rexo",
+		"Selta", "Tyco", "Ultra", "Wex", "Yama", "Zeta", "Alpha", "Brio",
+	}
+	suffixes := []string{"tronics", "comp", " Industries", " Electric", " Devices", "tec"}
+	out := make([]string, 0, cfg.Manufacturers)
+	seen := map[string]struct{}{}
+	for len(out) < cfg.Manufacturers {
+		name := bases[rng.Intn(len(bases))] + suffixes[rng.Intn(len(suffixes))]
+		if len(out) >= len(bases)*len(suffixes) {
+			name = fmt.Sprintf("%s %d", name, len(out))
+		}
+		if _, dup := seen[name]; dup {
+			continue
+		}
+		seen[name] = struct{}{}
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// Vocabulary for class names; combinations of qualifier + family give the
+// taxonomy an electronic-products flavour without affecting statistics.
+var (
+	families = []string{
+		"Resistor", "Capacitor", "Inductor", "Diode", "Transistor",
+		"Connector", "Relay", "Switch", "Fuse", "LED", "Crystal",
+		"Oscillator", "Transformer", "Sensor", "Filter", "Thermistor",
+		"Varistor", "Potentiometer", "Choke", "Ferrite",
+	}
+	qualifiers = []string{
+		"Fixed", "Variable", "Ceramic", "Tantalum", "Film", "Wirewound",
+		"Power", "Precision", "Chip", "Axial", "Radial", "HighVoltage",
+		"LowNoise", "Schottky", "Zener", "Signal", "RF", "Automotive",
+		"Military", "Miniature",
+	}
+)
+
+// buildTaxonomy generates a class DAG (a tree here) with exactly
+// cfg.LeafClasses leaves and cfg.TotalClasses classes in total, rooted at
+// a single Product class. It works bottom-up: leaves are grouped under
+// internal nodes with small branching until one root remains, then
+// single-child chain nodes pad the tree to the requested total (product
+// taxonomies are deep and skinny, e.g. Passive > Resistors > Fixed >
+// Film), and finally everything hangs under the root.
+func buildTaxonomy(cfg Config, rng *rand.Rand) (*ontology.Ontology, []rdf.Term, error) {
+	o := ontology.New()
+	classIRI := func(id int, name string) rdf.Term {
+		return rdf.NewIRI(fmt.Sprintf("%sC%03d_%s", OntoNS, id, name))
+	}
+	next := 0
+	newClass := func(name string) rdf.Term {
+		c := classIRI(next, name)
+		next++
+		o.AddClass(c)
+		o.SetLabel(c, name)
+		return c
+	}
+	name := func(depthHint int) string {
+		f := families[rng.Intn(len(families))]
+		q := qualifiers[rng.Intn(len(qualifiers))]
+		if depthHint == 0 {
+			return f + "s" // category level reads like a family plural
+		}
+		return q + f
+	}
+
+	root := newClass("Product")
+
+	leaves := make([]rdf.Term, cfg.LeafClasses)
+	for i := range leaves {
+		leaves[i] = newClass(name(2))
+	}
+
+	// Group bottom-up with branching 2-4 until few enough to hang off the
+	// root, or the class budget forces us to stop early.
+	level := append([]rdf.Term(nil), leaves...)
+	budget := cfg.TotalClasses - 1 - cfg.LeafClasses // classes left to create
+	for len(level) > 4 && budget > len(level)/4 {
+		var parents []rdf.Term
+		for i := 0; i < len(level); {
+			if budget == 0 {
+				break
+			}
+			width := 2 + rng.Intn(3)
+			if i+width > len(level) {
+				width = len(level) - i
+			}
+			p := newClass(name(1))
+			budget--
+			for j := 0; j < width; j++ {
+				o.AddSubClassOf(level[i+j], p)
+			}
+			i += width
+			parents = append(parents, p)
+		}
+		if budget == 0 {
+			// Classes of this level that were not grouped before the
+			// budget ran out stay unparented; carry them upward so they
+			// attach to the root below.
+			var orphans []rdf.Term
+			for _, c := range level {
+				if len(o.Parents(c)) == 0 && c != root {
+					orphans = append(orphans, c)
+				}
+			}
+			level = append(parents, orphans...)
+			break
+		}
+		level = parents
+	}
+
+	// Pad with single-child chain nodes to reach the exact class budget:
+	// pick a non-root class and splice a chain node between it and its
+	// (future) parent by re-parenting under the new node.
+	for budget > 0 && len(level) > 0 {
+		i := rng.Intn(len(level))
+		chain := newClass(name(1))
+		budget--
+		o.AddSubClassOf(level[i], chain)
+		level[i] = chain
+	}
+
+	for _, c := range level {
+		if c != root {
+			o.AddSubClassOf(c, root)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("datagen: generated taxonomy invalid: %w", err)
+	}
+	return o, leaves, nil
+}

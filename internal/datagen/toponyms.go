@@ -1,0 +1,114 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/ontology"
+	"repro/internal/rdf"
+)
+
+// ToponymConfig sizes the secondary-domain corpus: geographic entities
+// whose rdfs:label embeds a place-type word, the introduction's other
+// motivating scenario ("Dresden Elbe Valley", "Copacabana Beach",
+// "Louvre Museum"). It demonstrates the generality the paper's
+// conclusion calls for.
+type ToponymConfig struct {
+	Seed  int64
+	Links int
+	// Catalog is the local place count; defaults to 4 × Links when 0.
+	Catalog int
+}
+
+// toponym place types; each is a leaf class whose labels embed the type
+// word, plus distractor name words shared across classes.
+var placeTypes = []struct {
+	class string
+	words []string
+}{
+	{"Beach", []string{"Beach", "Playa"}},
+	{"Museum", []string{"Museum", "Musee"}},
+	{"Valley", []string{"Valley"}},
+	{"Bridge", []string{"Bridge", "Pont"}},
+	{"Cathedral", []string{"Cathedral", "Basilica"}},
+	{"Castle", []string{"Castle", "Chateau"}},
+	{"Lake", []string{"Lake", "Lac"}},
+	{"Square", []string{"Square", "Place", "Plaza"}},
+}
+
+var toponymNames = []string{
+	"Dresden", "Copacabana", "Elbe", "Concorde", "Louvre", "Alexander",
+	"Victoria", "Saint", "Charles", "Royal", "Grand", "North", "Old",
+	"Golden", "Crystal", "Green", "Silver", "High", "New", "Iron",
+}
+
+// GenerateToponyms builds the toponym corpus: SL holds typed places with
+// labels, SE holds label-only descriptions, TS links them.
+func GenerateToponyms(cfg ToponymConfig) (*Dataset, error) {
+	if cfg.Links < 1 {
+		return nil, fmt.Errorf("datagen: toponym Links %d < 1", cfg.Links)
+	}
+	if cfg.Catalog == 0 {
+		cfg.Catalog = 4 * cfg.Links
+	}
+	if cfg.Catalog < cfg.Links {
+		return nil, fmt.Errorf("datagen: toponym Catalog %d < Links %d", cfg.Catalog, cfg.Links)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	ont := ontology.New()
+	root := rdf.NewIRI(OntoNS + "Place")
+	ont.AddClass(root)
+	classes := make([]rdf.Term, len(placeTypes))
+	for i, pt := range placeTypes {
+		classes[i] = rdf.NewIRI(OntoNS + pt.class)
+		ont.AddSubClassOf(classes[i], root)
+		ont.SetLabel(classes[i], pt.class)
+	}
+
+	ds := &Dataset{
+		Config:    Config{Seed: cfg.Seed},
+		Ontology:  ont,
+		Leaves:    classes,
+		Tokenized: classes,
+		Local:     rdf.NewGraph(),
+		External:  rdf.NewGraph(),
+		TrueClass: map[rdf.Term]rdf.Term{},
+	}
+
+	label := func(classIdx int) string {
+		pt := placeTypes[classIdx]
+		word := pt.words[rng.Intn(len(pt.words))]
+		name := toponymNames[rng.Intn(len(toponymNames))]
+		if rng.Float64() < 0.5 {
+			name += " " + toponymNames[rng.Intn(len(toponymNames))]
+		}
+		if rng.Float64() < 0.3 {
+			return word + " of " + name
+		}
+		return name + " " + word
+	}
+
+	seq := 0
+	newLocal := func(classIdx int) rdf.Term {
+		id := rdf.NewIRI(fmt.Sprintf("%sT%05d", LocalNS, seq))
+		seq++
+		ds.Local.Add(rdf.T(id, rdf.TypeTerm, classes[classIdx]))
+		ds.Local.Add(rdf.T(id, rdf.LabelTerm, rdf.NewLiteral(label(classIdx))))
+		return id
+	}
+
+	for i := 0; i < cfg.Links; i++ {
+		classIdx := rng.Intn(len(classes))
+		local := newLocal(classIdx)
+		ext := rdf.NewIRI(fmt.Sprintf("%sG%05d", ExtNS, i))
+		ds.External.Add(rdf.T(ext, rdf.LabelTerm, rdf.NewLiteral(label(classIdx))))
+		ds.Training.Links = append(ds.Training.Links, core.Link{External: ext, Local: local})
+		ds.TrueClass[ext] = classes[classIdx]
+	}
+	for seq < cfg.Catalog {
+		newLocal(rng.Intn(len(classes)))
+	}
+	return ds, nil
+}

@@ -1,0 +1,230 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/segment"
+)
+
+// SweepRow is one point of the support-threshold sweep (E5a): how the
+// rule count and classification quality move with th.
+type SweepRow struct {
+	Threshold float64
+	Rules     int
+	Decisions int
+	Precision float64
+	Recall    float64
+}
+
+// ThresholdSweep relearns the model at each threshold and evaluates its
+// Table-1 aggregate (all bands pooled).
+func ThresholdSweep(ds *datagen.Dataset, base core.LearnerConfig, thresholds []float64) ([]SweepRow, error) {
+	rows := make([]SweepRow, 0, len(thresholds))
+	for _, th := range thresholds {
+		cfg := base
+		cfg.SupportThreshold = th
+		c, err := BuildCorpus(ds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: sweep th=%v: %w", th, err)
+		}
+		decisions, correct := pooledDecisions(c)
+		pop := c.learnablePopulation(c.Model.Rules.Rules)
+		row := SweepRow{Threshold: th, Rules: c.Model.Rules.Len(), Decisions: decisions}
+		if decisions > 0 {
+			row.Precision = float64(correct) / float64(decisions)
+		}
+		if pop > 0 {
+			row.Recall = float64(correct) / float64(pop)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// pooledDecisions classifies every training item and counts decisions
+// and correct decisions across all confidence levels.
+func pooledDecisions(c *Corpus) (decisions, correct int) {
+	for i := 0; i < c.Model.TrainingSize(); i++ {
+		preds := c.Classifier.ClassifySegments(c.segmentsOf(i))
+		if len(preds) == 0 {
+			continue
+		}
+		decisions++
+		if tc, ok := c.trueClassOf(i); ok && tc == preds[0].Class {
+			correct++
+		}
+	}
+	return decisions, correct
+}
+
+// SweepTable renders the threshold sweep.
+func SweepTable(rows []SweepRow) *Table {
+	t := &Table{
+		Title:   "Support threshold sweep",
+		Headers: []string{"th", "#rules", "#dec.", "prec.", "recall"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.4f", r.Threshold),
+			fmt.Sprintf("%d", r.Rules),
+			fmt.Sprintf("%d", r.Decisions),
+			Percent(r.Precision),
+			Percent(r.Recall),
+		})
+	}
+	return t
+}
+
+// SplitterRow is one line of the splitter ablation (E5b): the paper's
+// separator splitting against n-gram splitting.
+type SplitterRow struct {
+	Splitter         string
+	DistinctSegments int
+	Rules            int
+	Decisions        int
+	Precision        float64
+	Recall           float64
+}
+
+// SplitterAblation relearns the model with each splitter. Note that the
+// classifier must use the same splitter as the learner; BuildCorpus
+// guarantees that by propagating the config.
+func SplitterAblation(ds *datagen.Dataset, base core.LearnerConfig, splitters []segment.Splitter) ([]SplitterRow, error) {
+	rows := make([]SplitterRow, 0, len(splitters))
+	for _, sp := range splitters {
+		cfg := base
+		cfg.Splitter = sp
+		c, err := BuildCorpus(ds, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("eval: splitter %s: %w", sp.Name(), err)
+		}
+		decisions, correct := pooledDecisions(c)
+		pop := c.learnablePopulation(c.Model.Rules.Rules)
+		row := SplitterRow{
+			Splitter:         sp.Name(),
+			DistinctSegments: c.Model.Stats.DistinctSegments,
+			Rules:            c.Model.Rules.Len(),
+			Decisions:        decisions,
+		}
+		if decisions > 0 {
+			row.Precision = float64(correct) / float64(decisions)
+		}
+		if pop > 0 {
+			row.Recall = float64(correct) / float64(pop)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SplitterTable renders the splitter ablation.
+func SplitterTable(rows []SplitterRow) *Table {
+	t := &Table{
+		Title:   "Splitter ablation",
+		Headers: []string{"splitter", "segments", "#rules", "#dec.", "prec.", "recall"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Splitter,
+			fmt.Sprintf("%d", r.DistinctSegments),
+			fmt.Sprintf("%d", r.Rules),
+			fmt.Sprintf("%d", r.Decisions),
+			Percent(r.Precision),
+			Percent(r.Recall),
+		})
+	}
+	return t
+}
+
+// OrderingPolicy ranks fired rules to pick an item's decision.
+type OrderingPolicy struct {
+	Name string
+	// Better reports whether rule a should be preferred over b.
+	Better func(a, b core.Rule) bool
+}
+
+// Policies returns the ordering ablation line-up: the paper's
+// confidence-then-lift, lift-first, and support-first.
+func Policies() []OrderingPolicy {
+	return []OrderingPolicy{
+		{Name: "confidence,lift (paper)", Better: func(a, b core.Rule) bool {
+			if a.Confidence() != b.Confidence() {
+				return a.Confidence() > b.Confidence()
+			}
+			return a.Lift() > b.Lift()
+		}},
+		{Name: "lift,confidence", Better: func(a, b core.Rule) bool {
+			if a.Lift() != b.Lift() {
+				return a.Lift() > b.Lift()
+			}
+			return a.Confidence() > b.Confidence()
+		}},
+		{Name: "support,confidence", Better: func(a, b core.Rule) bool {
+			if a.Support() != b.Support() {
+				return a.Support() > b.Support()
+			}
+			return a.Confidence() > b.Confidence()
+		}},
+	}
+}
+
+// OrderingRow is one line of the rule-ordering ablation (E5c).
+type OrderingRow struct {
+	Policy    string
+	Decisions int
+	Correct   int
+	Precision float64
+}
+
+// OrderingAblation replays classification under each policy: the item's
+// decision is the conclusion of the best fired rule per the policy.
+func OrderingAblation(c *Corpus, policies []OrderingPolicy) []OrderingRow {
+	rows := make([]OrderingRow, len(policies))
+	for p := range policies {
+		rows[p].Policy = policies[p].Name
+	}
+	for i := 0; i < c.Model.TrainingSize(); i++ {
+		fired := c.Classifier.FiredRules(c.segmentsOf(i))
+		if len(fired) == 0 {
+			continue
+		}
+		tc, hasTrue := c.trueClassOf(i)
+		for p, pol := range policies {
+			best := fired[0]
+			for _, r := range fired[1:] {
+				if pol.Better(r, best) {
+					best = r
+				}
+			}
+			rows[p].Decisions++
+			if hasTrue && best.Class == tc {
+				rows[p].Correct++
+			}
+		}
+	}
+	for p := range rows {
+		if rows[p].Decisions > 0 {
+			rows[p].Precision = float64(rows[p].Correct) / float64(rows[p].Decisions)
+		}
+	}
+	return rows
+}
+
+// OrderingTable renders the ordering ablation.
+func OrderingTable(rows []OrderingRow) *Table {
+	t := &Table{
+		Title:   "Rule-ordering ablation",
+		Headers: []string{"policy", "#dec.", "correct", "prec."},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Policy,
+			fmt.Sprintf("%d", r.Decisions),
+			fmt.Sprintf("%d", r.Correct),
+			Percent(r.Precision),
+		})
+	}
+	return t
+}

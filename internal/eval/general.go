@@ -1,0 +1,147 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+)
+
+// GeneralizationRow is one line of the subsumption-generalization
+// experiment (E6, the paper's future work): what lifting leaf rules to
+// superclasses does to rule count, coverage and subspace size. A decision
+// counts as correct when the predicted class equals or subsumes the
+// expert class.
+type GeneralizationRow struct {
+	Variant     string
+	Rules       int
+	ParentRules int
+	Decisions   int
+	Correct     int
+	Precision   float64
+	Recall      float64
+	// AvgSubspaceShare is the mean fraction of the catalog a classified
+	// item still faces (generalized rules select larger subspaces — the
+	// price of the extra coverage).
+	AvgSubspaceShare float64
+}
+
+// GeneralizationExperiment compares the base rule set with its
+// generalized variants (added parents, and parents replacing children).
+func GeneralizationExperiment(c *Corpus) []GeneralizationRow {
+	ont := c.Dataset.Ontology
+	base := c.Model.Rules
+	added := c.Model.Generalize(ont, core.GeneralizeOptions{})
+	replaced := c.Model.Generalize(ont, core.GeneralizeOptions{ReplaceChildren: true})
+
+	variants := []struct {
+		name  string
+		rules *core.RuleSet
+	}{
+		{"base (leaf rules)", &base},
+		{"generalized (added)", &added},
+		{"generalized (replace)", &replaced},
+	}
+	rows := make([]GeneralizationRow, 0, len(variants))
+	for _, v := range variants {
+		rows = append(rows, evalRuleSet(c, v.name, v.rules))
+	}
+	return rows
+}
+
+func evalRuleSet(c *Corpus, name string, rules *core.RuleSet) GeneralizationRow {
+	row := GeneralizationRow{Variant: name, Rules: rules.Len()}
+	for _, r := range rules.Rules {
+		if r.Generalized {
+			row.ParentRules++
+		}
+	}
+	cl := core.NewClassifier(rules, c.Model.Config.Splitter)
+	ont := c.Dataset.Ontology
+	shareSum := 0.0
+	shareN := 0
+	for i := 0; i < c.Model.TrainingSize(); i++ {
+		preds := cl.ClassifySegments(c.segmentsOf(i))
+		if len(preds) == 0 {
+			continue
+		}
+		row.Decisions++
+		if tc, ok := c.trueClassOf(i); ok {
+			pred := preds[0].Class
+			if pred == tc || (ont != nil && ont.Subsumes(pred, tc)) {
+				row.Correct++
+			}
+		}
+		link := c.Model.TrainingLink(i)
+		sr := core.Space(link.External, preds[:1], c.Instances)
+		if sr.CatalogSize > 0 {
+			shareSum += float64(sr.UnionSize) / float64(sr.CatalogSize)
+			shareN++
+		}
+	}
+	if row.Decisions > 0 {
+		row.Precision = float64(row.Correct) / float64(row.Decisions)
+	}
+	if pop := c.learnablePopulationSubsumed(rules.Rules); pop > 0 {
+		row.Recall = float64(row.Correct) / float64(pop)
+	}
+	if shareN > 0 {
+		row.AvgSubspaceShare = shareSum / float64(shareN)
+	}
+	return row
+}
+
+// GeneralizationTable renders the experiment.
+func GeneralizationTable(rows []GeneralizationRow) *Table {
+	t := &Table{
+		Title:   "Rule generalization through subsumption (paper future work)",
+		Headers: []string{"variant", "#rules", "#parent", "#dec.", "prec.", "recall", "space share"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Variant,
+			fmt.Sprintf("%d", r.Rules),
+			fmt.Sprintf("%d", r.ParentRules),
+			fmt.Sprintf("%d", r.Decisions),
+			Percent(r.Precision),
+			Percent(r.Recall),
+			Percent(r.AvgSubspaceShare),
+		})
+	}
+	return t
+}
+
+// learnablePopulation for a rule set with non-leaf conclusions counts
+// items whose true class is equal to or subsumed by a conclusion class.
+func (c *Corpus) learnablePopulationSubsumed(rules []core.Rule) int {
+	ont := c.Dataset.Ontology
+	classes := map[rdf.Term]struct{}{}
+	for _, r := range rules {
+		classes[r.Class] = struct{}{}
+	}
+	n := 0
+	for i := 0; i < c.Model.TrainingSize(); i++ {
+		hit := false
+		for _, tc := range c.Model.TrueClasses(i) {
+			if _, ok := classes[tc]; ok {
+				hit = true
+				break
+			}
+			if ont != nil {
+				for cls := range classes {
+					if ont.Subsumes(cls, tc) {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				break
+			}
+		}
+		if hit {
+			n++
+		}
+	}
+	return n
+}

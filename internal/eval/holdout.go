@@ -1,0 +1,148 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+// HoldoutRow is one fold of the cross-validation experiment (E7). The
+// paper evaluates its rules on the training set itself; this experiment
+// measures what a user actually gets on unseen provider items.
+type HoldoutRow struct {
+	Fold      int
+	Rules     int
+	Decisions int
+	Correct   int
+	Precision float64
+	Recall    float64
+}
+
+// HoldoutSummary aggregates the folds and the resubstitution baseline.
+type HoldoutSummary struct {
+	Folds []HoldoutRow
+	// MeanPrecision / MeanRecall average the per-fold held-out scores.
+	MeanPrecision float64
+	MeanRecall    float64
+	// TrainPrecision / TrainRecall are the resubstitution scores of a
+	// model trained on all links (the paper's evaluation protocol), for
+	// comparison.
+	TrainPrecision float64
+	TrainRecall    float64
+}
+
+// CrossValidate runs k-fold cross-validation over the corpus's training
+// links: each fold's links are held out, a model is learned on the rest,
+// and the held-out items are classified from their provider documents.
+// A decision is correct when the top predicted class equals the expert
+// class. The split is deterministic in seed.
+func CrossValidate(ds *datagen.Dataset, cfg core.LearnerConfig, k int, seed int64) (HoldoutSummary, error) {
+	if k < 2 {
+		return HoldoutSummary{}, fmt.Errorf("eval: cross-validation needs k >= 2, got %d", k)
+	}
+	links := append([]core.Link(nil), ds.Training.Links...)
+	if len(links) < k {
+		return HoldoutSummary{}, fmt.Errorf("eval: %d links cannot fill %d folds", len(links), k)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(links), func(i, j int) { links[i], links[j] = links[j], links[i] })
+
+	if len(cfg.Properties) == 0 {
+		cfg.Properties = []rdf.Term{datagen.PartNumberProp}
+	}
+
+	var summary HoldoutSummary
+	for fold := 0; fold < k; fold++ {
+		lo := fold * len(links) / k
+		hi := (fold + 1) * len(links) / k
+		test := links[lo:hi]
+		train := make([]core.Link, 0, len(links)-len(test))
+		train = append(train, links[:lo]...)
+		train = append(train, links[hi:]...)
+
+		m, err := core.Learn(cfg, core.TrainingSet{Links: train}, ds.External, ds.Local, ds.Ontology)
+		if err != nil {
+			return HoldoutSummary{}, fmt.Errorf("eval: fold %d: %w", fold, err)
+		}
+		cl := core.NewClassifier(&m.Rules, m.Config.Splitter)
+		row := evaluateLinks(cl, &m.Rules, test, ds)
+		row.Fold = fold
+		row.Rules = m.Rules.Len()
+		summary.Folds = append(summary.Folds, row)
+		summary.MeanPrecision += row.Precision
+		summary.MeanRecall += row.Recall
+	}
+	summary.MeanPrecision /= float64(k)
+	summary.MeanRecall /= float64(k)
+
+	// Resubstitution baseline: train and evaluate on everything.
+	m, err := core.Learn(cfg, ds.Training, ds.External, ds.Local, ds.Ontology)
+	if err != nil {
+		return HoldoutSummary{}, fmt.Errorf("eval: resubstitution: %w", err)
+	}
+	cl := core.NewClassifier(&m.Rules, m.Config.Splitter)
+	trainRow := evaluateLinks(cl, &m.Rules, ds.Training.Links, ds)
+	summary.TrainPrecision = trainRow.Precision
+	summary.TrainRecall = trainRow.Recall
+	return summary, nil
+}
+
+// evaluateLinks classifies each link's external item from the provider
+// graph and scores the top prediction against the expert class.
+func evaluateLinks(cl *core.Classifier, rules *core.RuleSet, links []core.Link, ds *datagen.Dataset) HoldoutRow {
+	ruleClasses := map[rdf.Term]struct{}{}
+	for _, r := range rules.Rules {
+		ruleClasses[r.Class] = struct{}{}
+	}
+	var row HoldoutRow
+	learnable := 0
+	for _, link := range links {
+		truth := ds.TrueClass[link.External]
+		if _, ok := ruleClasses[truth]; ok {
+			learnable++
+		}
+		preds := cl.Classify(link.External, ds.External)
+		if len(preds) == 0 {
+			continue
+		}
+		row.Decisions++
+		if preds[0].Class == truth {
+			row.Correct++
+		}
+	}
+	if row.Decisions > 0 {
+		row.Precision = float64(row.Correct) / float64(row.Decisions)
+	}
+	if learnable > 0 {
+		row.Recall = float64(row.Correct) / float64(learnable)
+	}
+	return row
+}
+
+// HoldoutTable renders the cross-validation summary.
+func HoldoutTable(s HoldoutSummary) *Table {
+	t := &Table{
+		Title:   "Held-out evaluation (k-fold cross-validation vs the paper's resubstitution)",
+		Headers: []string{"fold", "#rules", "#dec.", "correct", "prec.", "recall"},
+	}
+	for _, f := range s.Folds {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", f.Fold),
+			fmt.Sprintf("%d", f.Rules),
+			fmt.Sprintf("%d", f.Decisions),
+			fmt.Sprintf("%d", f.Correct),
+			Percent(f.Precision),
+			Percent(f.Recall),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"mean", "", "", "", Percent(s.MeanPrecision), Percent(s.MeanRecall),
+	})
+	t.Rows = append(t.Rows, []string{
+		"train (paper protocol)", "", "", "", Percent(s.TrainPrecision), Percent(s.TrainRecall),
+	})
+	return t
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+func TestCrossValidate(t *testing.T) {
+	ds, err := datagen.Generate(datagen.SmallConfig(33))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	s, err := CrossValidate(ds, core.LearnerConfig{}, 5, 99)
+	if err != nil {
+		t.Fatalf("CrossValidate: %v", err)
+	}
+	if len(s.Folds) != 5 {
+		t.Fatalf("folds = %d", len(s.Folds))
+	}
+	totalDecisions := 0
+	for _, f := range s.Folds {
+		if f.Rules == 0 {
+			t.Errorf("fold %d learned no rules", f.Fold)
+		}
+		if f.Correct > f.Decisions {
+			t.Errorf("fold %d correct %d > decisions %d", f.Fold, f.Correct, f.Decisions)
+		}
+		totalDecisions += f.Decisions
+	}
+	if totalDecisions == 0 {
+		t.Fatal("no held-out decisions across folds")
+	}
+	// Held-out precision should be in a sane band and not wildly exceed
+	// resubstitution.
+	if s.MeanPrecision <= 0.3 || s.MeanPrecision > 1 {
+		t.Errorf("mean precision = %v", s.MeanPrecision)
+	}
+	if s.TrainPrecision <= 0 {
+		t.Errorf("train precision = %v", s.TrainPrecision)
+	}
+	if s.MeanPrecision > s.TrainPrecision+0.1 {
+		t.Errorf("held-out precision %v implausibly above resubstitution %v",
+			s.MeanPrecision, s.TrainPrecision)
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	ds, err := datagen.Generate(datagen.SmallConfig(34))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := CrossValidate(ds, core.LearnerConfig{}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CrossValidate(ds, core.LearnerConfig{}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Folds {
+		if a.Folds[i] != b.Folds[i] {
+			t.Fatalf("fold %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestCrossValidateValidation(t *testing.T) {
+	ds, err := datagen.Generate(datagen.SmallConfig(35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CrossValidate(ds, core.LearnerConfig{}, 1, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	tiny := *ds
+	tiny.Training = core.TrainingSet{Links: ds.Training.Links[:2]}
+	if _, err := CrossValidate(&tiny, core.LearnerConfig{}, 5, 1); err == nil {
+		t.Error("more folds than links accepted")
+	}
+}
+
+func TestHoldoutTable(t *testing.T) {
+	s := HoldoutSummary{
+		Folds: []HoldoutRow{
+			{Fold: 0, Rules: 10, Decisions: 50, Correct: 40, Precision: 0.8, Recall: 0.5},
+		},
+		MeanPrecision:  0.8,
+		MeanRecall:     0.5,
+		TrainPrecision: 0.9,
+		TrainRecall:    0.6,
+	}
+	out := HoldoutTable(s).String()
+	for _, want := range []string{"fold", "mean", "train (paper protocol)", "80%", "90%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("holdout table missing %q:\n%s", want, out)
+		}
+	}
+}

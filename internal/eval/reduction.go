@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ReductionRow summarizes the linking-space reduction achieved for the
+// items whose best rule falls in one confidence band — the paper's claim
+// that high lift translates into a strongly reduced reconciliation space.
+type ReductionRow struct {
+	Band Band
+	// Items is the number of classified items in the band.
+	Items int
+	// AvgLift is the mean lift of the band's rules.
+	AvgLift float64
+	// AvgReductionFactor is the mean of catalog/union over the band's
+	// items (the paper: lift > 20 ⇒ the space of a conf-1 rule shrinks
+	// at least 5× even for a class holding 20% of the catalog).
+	AvgReductionFactor float64
+	// AvgSpaceShare is the mean fraction of the catalog an item must
+	// still be compared to (1/reduction).
+	AvgSpaceShare float64
+	// Completeness is the fraction of the band's items whose true linked
+	// local item is inside the reduced space — reduction is useless if it
+	// loses the real match.
+	Completeness float64
+}
+
+// Reduction computes per-band space reduction over the training corpus.
+func Reduction(c *Corpus, bands []Band) []ReductionRow {
+	rows := make([]ReductionRow, len(bands))
+	for b, band := range bands {
+		rows[b].Band = band
+		rows[b].AvgLift = core.AverageLift(c.Model.Rules.ConfidenceBand(band.Lo, band.Hi))
+	}
+	type acc struct {
+		redSum, shareSum float64
+		covered          int
+	}
+	accs := make([]acc, len(bands))
+
+	for i := 0; i < c.Model.TrainingSize(); i++ {
+		preds := c.Classifier.ClassifySegments(c.segmentsOf(i))
+		if len(preds) == 0 {
+			continue
+		}
+		conf := preds[0].Rule.Confidence()
+		b := -1
+		for j := range rows {
+			if conf >= rows[j].Band.Lo && conf < rows[j].Band.Hi {
+				b = j
+				break
+			}
+		}
+		if b < 0 {
+			continue
+		}
+		link := c.Model.TrainingLink(i)
+		sr := core.Space(link.External, preds, c.Instances)
+		if sr.UnionSize == 0 || sr.CatalogSize == 0 {
+			continue
+		}
+		rows[b].Items++
+		accs[b].redSum += sr.ReductionFactor()
+		accs[b].shareSum += float64(sr.UnionSize) / float64(sr.CatalogSize)
+		for _, ss := range sr.Subspaces {
+			if c.Instances.Contains(ss.Class, link.Local) {
+				accs[b].covered++
+				break
+			}
+		}
+	}
+	for b := range rows {
+		if rows[b].Items > 0 {
+			rows[b].AvgReductionFactor = accs[b].redSum / float64(rows[b].Items)
+			rows[b].AvgSpaceShare = accs[b].shareSum / float64(rows[b].Items)
+			rows[b].Completeness = float64(accs[b].covered) / float64(rows[b].Items)
+		}
+	}
+	return rows
+}
+
+// ReductionTable renders reduction rows.
+func ReductionTable(rows []ReductionRow) *Table {
+	t := &Table{
+		Title:   "Linking-space reduction by confidence band",
+		Headers: []string{"conf.", "items", "lift", "reduction", "space share", "completeness"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Band.Label,
+			fmt.Sprintf("%d", r.Items),
+			fmt.Sprintf("%.0f", r.AvgLift),
+			fmt.Sprintf("%.1fx", r.AvgReductionFactor),
+			Percent(r.AvgSpaceShare),
+			Percent(r.Completeness),
+		})
+	}
+	return t
+}

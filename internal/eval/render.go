@@ -1,0 +1,98 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a fixed-width text table for experiment reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render writes the table to w with columns padded to their widest cell.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(widths))
+		for i := range widths {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	b.WriteString(line(t.Headers))
+	b.WriteByte('\n')
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(line(row))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	if err != nil {
+		return fmt.Errorf("eval: rendering table: %w", err)
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV (header row first, no title), for
+// plotting or spreadsheet import.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return fmt.Errorf("eval: writing csv: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("eval: writing csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("eval: writing csv: %w", err)
+	}
+	return nil
+}
+
+// Percent formats a ratio as the paper prints it ("96.9%", "100%").
+func Percent(x float64) string {
+	p := x * 100
+	if p == float64(int(p)) {
+		return fmt.Sprintf("%.0f%%", p)
+	}
+	return fmt.Sprintf("%.1f%%", p)
+}

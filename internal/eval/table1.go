@@ -1,0 +1,169 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Band is a confidence interval [Lo, Hi) labeling one row of Table 1.
+type Band struct {
+	Label string
+	Lo    float64
+	Hi    float64
+}
+
+// PaperBands are the four confidence groups of the paper's Table 1: the
+// top band holds exactly the confidence-1 rules (Hi > 1 makes the
+// interval closed at 1).
+func PaperBands() []Band {
+	return []Band{
+		{Label: "1", Lo: 1, Hi: 2},
+		{Label: "0.8", Lo: 0.8, Hi: 1},
+		{Label: "0.6", Lo: 0.6, Hi: 0.8},
+		{Label: "0.4", Lo: 0.4, Hi: 0.6},
+	}
+}
+
+// Table1Row is one row of the reproduced Table 1.
+type Table1Row struct {
+	Band Band
+	// Rules is the number of rules whose confidence falls in the band.
+	Rules int
+	// Decisions is the number of training items classified by at least
+	// one rule of the band ("the number of decisions that can be made"
+	// with this rule group; rows overlap when an item fires rules from
+	// several bands, as in the paper).
+	Decisions int
+	// Correct is how many of those decisions place the expert class in
+	// the union of the band rules' predictions — i.e. the reduced
+	// linking space selected by this band contains the true match.
+	Correct int
+	// Precision is Correct/Decisions.
+	Precision float64
+	// CumulativeRecall is the fraction of the learnable population
+	// correctly classified using every rule with confidence >= the
+	// band's lower bound.
+	CumulativeRecall float64
+	// AvgLift is the mean lift of the band's rules.
+	AvgLift float64
+}
+
+// Table1 reproduces the paper's Table 1 over the corpus. The paper
+// groups the rules by confidence and, per group, reports how many
+// training items the group can classify, how precisely, and the recall
+// when every rule at or above the group's confidence is used (which is
+// why the paper's recall column grows monotonically down the table).
+// Each item is replayed against the retained segment index.
+func Table1(c *Corpus, bands []Band) []Table1Row {
+	rows := make([]Table1Row, len(bands))
+	for b, band := range bands {
+		rows[b].Band = band
+		rules := c.Model.Rules.ConfidenceBand(band.Lo, band.Hi)
+		rows[b].Rules = len(rules)
+		rows[b].AvgLift = core.AverageLift(rules)
+	}
+	cumCorrect := make([]int, len(bands))
+
+	for i := 0; i < c.Model.TrainingSize(); i++ {
+		fired := c.Classifier.FiredRules(c.segmentsOf(i))
+		if len(fired) == 0 {
+			continue
+		}
+		tc, hasTrue := c.trueClassOf(i)
+		for b := range rows {
+			inBand, correctBand := false, false
+			correctCum := false
+			for _, r := range fired {
+				conf := r.Confidence()
+				if conf >= rows[b].Band.Lo && conf < rows[b].Band.Hi {
+					inBand = true
+					if hasTrue && r.Class == tc {
+						correctBand = true
+					}
+				}
+				if conf >= rows[b].Band.Lo && hasTrue && r.Class == tc {
+					correctCum = true
+				}
+			}
+			if inBand {
+				rows[b].Decisions++
+				if correctBand {
+					rows[b].Correct++
+				}
+			}
+			if correctCum {
+				cumCorrect[b]++
+			}
+		}
+	}
+
+	pop := c.learnablePopulation(c.Model.Rules.Rules)
+	for b := range rows {
+		if rows[b].Decisions > 0 {
+			rows[b].Precision = float64(rows[b].Correct) / float64(rows[b].Decisions)
+		}
+		if pop > 0 {
+			rows[b].CumulativeRecall = float64(cumCorrect[b]) / float64(pop)
+		}
+	}
+	return rows
+}
+
+// Table1Table renders rows in the paper's column layout.
+func Table1Table(rows []Table1Row) *Table {
+	t := &Table{
+		Title:   "Table 1: Classification rule results",
+		Headers: []string{"conf.", "#rules", "#dec.", "prec.", "recall", "lift"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Band.Label,
+			fmt.Sprintf("%d", r.Rules),
+			fmt.Sprintf("%d", r.Decisions),
+			Percent(r.Precision),
+			Percent(r.CumulativeRecall),
+			fmt.Sprintf("%.0f", r.AvgLift),
+		})
+	}
+	return t
+}
+
+// PaperStat compares one Section 5 corpus statistic with its paper value.
+type PaperStat struct {
+	Name     string
+	Paper    float64
+	Measured float64
+}
+
+// SectionStats lines up the learner's corpus statistics against the
+// values quoted in Section 5 of the paper. The paper column is only
+// meaningful when the corpus was generated at paper scale.
+func SectionStats(c *Corpus) []PaperStat {
+	st := c.Model.Stats
+	return []PaperStat{
+		{Name: "training links (|TS|)", Paper: 10265, Measured: float64(st.TSSize)},
+		{Name: "distinct segments", Paper: 7842, Measured: float64(st.DistinctSegments)},
+		{Name: "segment occurrences", Paper: 26077, Measured: float64(st.SegmentOccurrences)},
+		{Name: "selected segment occurrences", Paper: 7058, Measured: float64(st.SelectedSegmentOccurrences)},
+		{Name: "frequent classes (>20 inst.)", Paper: 68, Measured: float64(st.FrequentClasses)},
+		{Name: "classification rules", Paper: 144, Measured: float64(st.RuleCount)},
+		{Name: "classes with rules", Paper: 16, Measured: float64(st.ClassesWithRules)},
+	}
+}
+
+// SectionStatsTable renders the stats comparison.
+func SectionStatsTable(stats []PaperStat) *Table {
+	t := &Table{
+		Title:   "Section 5 corpus statistics (paper vs measured)",
+		Headers: []string{"statistic", "paper", "measured"},
+	}
+	for _, s := range stats {
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%.0f", s.Paper),
+			fmt.Sprintf("%.0f", s.Measured),
+		})
+	}
+	return t
+}

@@ -1,0 +1,288 @@
+// Package fusion implements the data-fusion step the paper's
+// introduction motivates: once same-as links are established, "one data
+// item is built using all the data items that represent the same real
+// world object". Given matched (external, local) pairs, the package
+// merges their property values into one fused description per entity
+// under a configurable conflict-resolution policy, preserving provenance.
+package fusion
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Strategy resolves conflicting values of one property across the
+// descriptions being fused.
+type Strategy int
+
+const (
+	// Union keeps every distinct value (no conflict resolution).
+	Union Strategy = iota
+	// PreferLocal keeps the local source's values when it has any, else
+	// the external ones — the catalog is the curated side.
+	PreferLocal
+	// PreferExternal keeps the external source's values when it has any
+	// — providers are fresher.
+	PreferExternal
+	// Vote keeps the most frequent value; ties break toward the local
+	// source, then deterministically by term order.
+	Vote
+	// Longest keeps the longest literal value (a common heuristic for
+	// descriptive fields); non-literals fall back to Union.
+	Longest
+)
+
+// String names the strategy for reports.
+func (s Strategy) String() string {
+	switch s {
+	case Union:
+		return "union"
+	case PreferLocal:
+		return "prefer-local"
+	case PreferExternal:
+		return "prefer-external"
+	case Vote:
+		return "vote"
+	case Longest:
+		return "longest"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config maps properties to strategies; Default applies elsewhere.
+type Config struct {
+	// Default is the strategy for properties not listed in PerProperty.
+	Default Strategy
+	// PerProperty overrides the strategy for specific properties.
+	PerProperty map[rdf.Term]Strategy
+}
+
+func (c Config) strategyFor(p rdf.Term) Strategy {
+	if s, ok := c.PerProperty[p]; ok {
+		return s
+	}
+	return c.Default
+}
+
+// Provenance tags a fused value with its origin.
+type Provenance int
+
+const (
+	// FromLocal marks a value present only in the local description.
+	FromLocal Provenance = iota + 1
+	// FromExternal marks a value present only in the external description.
+	FromExternal
+	// FromBoth marks a value asserted by both sides.
+	FromBoth
+)
+
+// String names the provenance for reports.
+func (p Provenance) String() string {
+	switch p {
+	case FromLocal:
+		return "local"
+	case FromExternal:
+		return "external"
+	case FromBoth:
+		return "both"
+	default:
+		return fmt.Sprintf("Provenance(%d)", int(p))
+	}
+}
+
+// Value is one fused property value with provenance.
+type Value struct {
+	Term       rdf.Term
+	Provenance Provenance
+}
+
+// Entity is one fused description.
+type Entity struct {
+	// ID is the fused entity's identifier: the local item's IRI (the
+	// catalog keeps naming authority, honouring the UNA objective).
+	ID rdf.Term
+	// External and Local are the source items.
+	External rdf.Term
+	Local    rdf.Term
+	// Properties maps each property to its fused values, sorted.
+	Properties map[rdf.Term][]Value
+}
+
+// Fuse merges each (external, local) pair into one entity. Only data
+// properties present on either side appear; rdf:type is always fused
+// with Union (losing type information would be destructive).
+func Fuse(pairs [][2]rdf.Term, se, sl *rdf.Graph, cfg Config) []Entity {
+	out := make([]Entity, 0, len(pairs))
+	for _, pair := range pairs {
+		out = append(out, fuseOne(pair[0], pair[1], se, sl, cfg))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Compare(out[j].ID) < 0 })
+	return out
+}
+
+func fuseOne(ext, loc rdf.Term, se, sl *rdf.Graph, cfg Config) Entity {
+	e := Entity{
+		ID:         loc,
+		External:   ext,
+		Local:      loc,
+		Properties: map[rdf.Term][]Value{},
+	}
+	extVals := valuesByProperty(se, ext)
+	locVals := valuesByProperty(sl, loc)
+
+	props := map[rdf.Term]struct{}{}
+	for p := range extVals {
+		props[p] = struct{}{}
+	}
+	for p := range locVals {
+		props[p] = struct{}{}
+	}
+	for p := range props {
+		strategy := cfg.strategyFor(p)
+		if p == rdf.TypeTerm {
+			strategy = Union
+		}
+		e.Properties[p] = resolve(strategy, extVals[p], locVals[p])
+	}
+	return e
+}
+
+func valuesByProperty(g *rdf.Graph, item rdf.Term) map[rdf.Term][]rdf.Term {
+	out := map[rdf.Term][]rdf.Term{}
+	g.Match(item, rdf.Term{}, rdf.Term{}, func(t rdf.Triple) bool {
+		out[t.P] = append(out[t.P], t.O)
+		return true
+	})
+	return out
+}
+
+// resolve merges the two value lists under the strategy, annotating
+// provenance. The result is sorted by term order.
+func resolve(s Strategy, ext, loc []rdf.Term) []Value {
+	extSet := toSet(ext)
+	locSet := toSet(loc)
+	provOf := func(t rdf.Term) Provenance {
+		_, inExt := extSet[t]
+		_, inLoc := locSet[t]
+		switch {
+		case inExt && inLoc:
+			return FromBoth
+		case inLoc:
+			return FromLocal
+		default:
+			return FromExternal
+		}
+	}
+	union := func() []Value {
+		seen := map[rdf.Term]struct{}{}
+		var out []Value
+		for _, t := range append(append([]rdf.Term(nil), loc...), ext...) {
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			out = append(out, Value{Term: t, Provenance: provOf(t)})
+		}
+		sortValues(out)
+		return out
+	}
+
+	switch s {
+	case PreferLocal:
+		if len(loc) > 0 {
+			return distinctValues(loc, provOf)
+		}
+		return distinctValues(ext, provOf)
+	case PreferExternal:
+		if len(ext) > 0 {
+			return distinctValues(ext, provOf)
+		}
+		return distinctValues(loc, provOf)
+	case Vote:
+		counts := map[rdf.Term]int{}
+		for _, t := range ext {
+			counts[t]++
+		}
+		for _, t := range loc {
+			counts[t]++
+		}
+		if len(counts) == 0 {
+			return nil
+		}
+		var best rdf.Term
+		bestScore := -1
+		for t, n := range counts {
+			score := n * 4
+			if _, inLoc := locSet[t]; inLoc {
+				score += 2 // tie-break toward the curated side
+			}
+			if score > bestScore || (score == bestScore && t.Compare(best) < 0) {
+				best, bestScore = t, score
+			}
+		}
+		return []Value{{Term: best, Provenance: provOf(best)}}
+	case Longest:
+		var best rdf.Term
+		found := false
+		for _, t := range append(append([]rdf.Term(nil), loc...), ext...) {
+			if !t.IsLiteral() {
+				return union()
+			}
+			if !found || len(t.Value) > len(best.Value) ||
+				(len(t.Value) == len(best.Value) && t.Compare(best) < 0) {
+				best, found = t, true
+			}
+		}
+		if !found {
+			return nil
+		}
+		return []Value{{Term: best, Provenance: provOf(best)}}
+	default: // Union
+		return union()
+	}
+}
+
+func toSet(ts []rdf.Term) map[rdf.Term]struct{} {
+	set := make(map[rdf.Term]struct{}, len(ts))
+	for _, t := range ts {
+		set[t] = struct{}{}
+	}
+	return set
+}
+
+func distinctValues(ts []rdf.Term, provOf func(rdf.Term) Provenance) []Value {
+	seen := map[rdf.Term]struct{}{}
+	var out []Value
+	for _, t := range ts {
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, Value{Term: t, Provenance: provOf(t)})
+	}
+	sortValues(out)
+	return out
+}
+
+func sortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Term.Compare(vs[j].Term) < 0 })
+}
+
+// ToGraph serializes fused entities back to RDF: each entity's
+// properties become triples on its ID, plus an owl:sameAs link to the
+// external item recording the reconciliation.
+func ToGraph(entities []Entity) *rdf.Graph {
+	g := rdf.NewGraph()
+	for _, e := range entities {
+		g.Add(rdf.T(e.External, rdf.SameAsTerm, e.Local))
+		for p, vals := range e.Properties {
+			for _, v := range vals {
+				g.Add(rdf.T(e.ID, p, v.Term))
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,223 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+var (
+	pn    = rdf.NewIRI("http://ex.org/pn")
+	label = rdf.NewIRI("http://ex.org/label")
+	mf    = rdf.NewIRI("http://ex.org/manufacturer")
+)
+
+func pair() ([][2]rdf.Term, *rdf.Graph, *rdf.Graph) {
+	ext := rdf.NewIRI("http://provider/item1")
+	loc := rdf.NewIRI("http://catalog/P1")
+	se := rdf.NewGraph()
+	sl := rdf.NewGraph()
+	se.Add(rdf.T(ext, pn, rdf.NewLiteral("CRCW0805-100")))
+	se.Add(rdf.T(ext, label, rdf.NewLiteral("chip resistor 100 ohm thick film")))
+	se.Add(rdf.T(ext, mf, rdf.NewLiteral("Vishtronics")))
+	sl.Add(rdf.T(loc, pn, rdf.NewLiteral("CRCW0805.100")))
+	sl.Add(rdf.T(loc, label, rdf.NewLiteral("Chip resistor")))
+	sl.Add(rdf.T(loc, rdf.TypeTerm, rdf.NewIRI("http://onto/Resistor")))
+	return [][2]rdf.Term{{ext, loc}}, se, sl
+}
+
+func fusedProps(t *testing.T, cfg Config) Entity {
+	t.Helper()
+	pairs, se, sl := pair()
+	ents := Fuse(pairs, se, sl, cfg)
+	if len(ents) != 1 {
+		t.Fatalf("entities = %d", len(ents))
+	}
+	return ents[0]
+}
+
+func values(e Entity, p rdf.Term) []string {
+	var out []string
+	for _, v := range e.Properties[p] {
+		out = append(out, v.Term.Value)
+	}
+	return out
+}
+
+func TestFuseUnion(t *testing.T) {
+	e := fusedProps(t, Config{Default: Union})
+	if e.ID != rdf.NewIRI("http://catalog/P1") {
+		t.Errorf("ID = %v, want the local IRI (naming authority)", e.ID)
+	}
+	got := values(e, pn)
+	if len(got) != 2 {
+		t.Errorf("union pn values = %v, want both variants", got)
+	}
+	// Provenance annotations.
+	for _, v := range e.Properties[pn] {
+		switch v.Term.Value {
+		case "CRCW0805-100":
+			if v.Provenance != FromExternal {
+				t.Errorf("provider variant provenance = %v", v.Provenance)
+			}
+		case "CRCW0805.100":
+			if v.Provenance != FromLocal {
+				t.Errorf("catalog variant provenance = %v", v.Provenance)
+			}
+		}
+	}
+}
+
+func TestFusePreferLocal(t *testing.T) {
+	e := fusedProps(t, Config{Default: PreferLocal})
+	if got := values(e, pn); len(got) != 1 || got[0] != "CRCW0805.100" {
+		t.Errorf("prefer-local pn = %v", got)
+	}
+	// Property missing locally falls back to external.
+	if got := values(e, mf); len(got) != 1 || got[0] != "Vishtronics" {
+		t.Errorf("prefer-local manufacturer = %v", got)
+	}
+}
+
+func TestFusePreferExternal(t *testing.T) {
+	e := fusedProps(t, Config{Default: PreferExternal})
+	if got := values(e, pn); len(got) != 1 || got[0] != "CRCW0805-100" {
+		t.Errorf("prefer-external pn = %v", got)
+	}
+	// rdf:type exists only locally; falls back.
+	if got := values(e, rdf.TypeTerm); len(got) != 1 {
+		t.Errorf("types = %v", got)
+	}
+}
+
+func TestFuseLongest(t *testing.T) {
+	e := fusedProps(t, Config{Default: Longest})
+	if got := values(e, label); len(got) != 1 || got[0] != "chip resistor 100 ohm thick film" {
+		t.Errorf("longest label = %v", got)
+	}
+}
+
+func TestFuseLongestNonLiteralFallsBackToUnion(t *testing.T) {
+	ext := rdf.NewIRI("http://provider/x")
+	loc := rdf.NewIRI("http://catalog/x")
+	se := rdf.NewGraph()
+	sl := rdf.NewGraph()
+	rel := rdf.NewIRI("http://ex.org/seeAlso")
+	se.Add(rdf.T(ext, rel, rdf.NewIRI("http://a")))
+	sl.Add(rdf.T(loc, rel, rdf.NewIRI("http://b")))
+	ents := Fuse([][2]rdf.Term{{ext, loc}}, se, sl, Config{Default: Longest})
+	if got := len(ents[0].Properties[rel]); got != 2 {
+		t.Errorf("non-literal Longest kept %d values, want union of 2", got)
+	}
+}
+
+func TestFuseVote(t *testing.T) {
+	ext := rdf.NewIRI("http://provider/x")
+	loc := rdf.NewIRI("http://catalog/x")
+	se := rdf.NewGraph()
+	sl := rdf.NewGraph()
+	// External asserts "64GB" twice is impossible in a set-based graph,
+	// so voting counts distinct assertions per side: both sides say
+	// "blue", external alone says "navy" -> blue wins 2:1.
+	color := rdf.NewIRI("http://ex.org/color")
+	se.Add(rdf.T(ext, color, rdf.NewLiteral("navy")))
+	se.Add(rdf.T(ext, color, rdf.NewLiteral("blue")))
+	sl.Add(rdf.T(loc, color, rdf.NewLiteral("blue")))
+	ents := Fuse([][2]rdf.Term{{ext, loc}}, se, sl, Config{Default: Vote})
+	got := values(ents[0], color)
+	if len(got) != 1 || got[0] != "blue" {
+		t.Errorf("vote = %v, want [blue]", got)
+	}
+	if ents[0].Properties[color][0].Provenance != FromBoth {
+		t.Errorf("winner provenance = %v", ents[0].Properties[color][0].Provenance)
+	}
+}
+
+func TestFuseVoteTieBreaksTowardLocal(t *testing.T) {
+	ext := rdf.NewIRI("http://provider/x")
+	loc := rdf.NewIRI("http://catalog/x")
+	se := rdf.NewGraph()
+	sl := rdf.NewGraph()
+	w := rdf.NewIRI("http://ex.org/weight")
+	se.Add(rdf.T(ext, w, rdf.NewLiteral("10g")))
+	sl.Add(rdf.T(loc, w, rdf.NewLiteral("11g")))
+	ents := Fuse([][2]rdf.Term{{ext, loc}}, se, sl, Config{Default: Vote})
+	if got := values(ents[0], w); len(got) != 1 || got[0] != "11g" {
+		t.Errorf("tie vote = %v, want the local 11g", got)
+	}
+}
+
+func TestFusePerPropertyOverride(t *testing.T) {
+	cfg := Config{
+		Default:     PreferLocal,
+		PerProperty: map[rdf.Term]Strategy{label: Longest},
+	}
+	e := fusedProps(t, cfg)
+	if got := values(e, label); len(got) != 1 || got[0] != "chip resistor 100 ohm thick film" {
+		t.Errorf("override label = %v", got)
+	}
+	if got := values(e, pn); len(got) != 1 || got[0] != "CRCW0805.100" {
+		t.Errorf("default pn = %v", got)
+	}
+}
+
+func TestFuseTypeAlwaysUnion(t *testing.T) {
+	// Even under PreferExternal, rdf:type keeps the local types.
+	e := fusedProps(t, Config{Default: PreferExternal})
+	if got := values(e, rdf.TypeTerm); len(got) != 1 || got[0] != "http://onto/Resistor" {
+		t.Errorf("types under PreferExternal = %v", got)
+	}
+}
+
+func TestToGraph(t *testing.T) {
+	pairs, se, sl := pair()
+	ents := Fuse(pairs, se, sl, Config{Default: Union})
+	g := ToGraph(ents)
+	if !g.Has(rdf.T(pairs[0][0], rdf.SameAsTerm, pairs[0][1])) {
+		t.Error("sameAs link missing from fused graph")
+	}
+	if got := len(g.Objects(pairs[0][1], pn)); got != 2 {
+		t.Errorf("fused pn triples = %d, want 2", got)
+	}
+}
+
+func TestStrategyAndProvenanceStrings(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		Union: "union", PreferLocal: "prefer-local", PreferExternal: "prefer-external",
+		Vote: "vote", Longest: "longest", Strategy(99): "Strategy(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Strategy(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+	for p, want := range map[Provenance]string{
+		FromLocal: "local", FromExternal: "external", FromBoth: "both", Provenance(9): "Provenance(9)",
+	} {
+		if got := p.String(); !strings.Contains(got, want) {
+			t.Errorf("Provenance String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFuseMultiplePairsSorted(t *testing.T) {
+	se := rdf.NewGraph()
+	sl := rdf.NewGraph()
+	var pairs [][2]rdf.Term
+	for _, id := range []string{"b", "a", "c"} {
+		ext := rdf.NewIRI("http://provider/" + id)
+		loc := rdf.NewIRI("http://catalog/" + id)
+		se.Add(rdf.T(ext, pn, rdf.NewLiteral(id)))
+		sl.Add(rdf.T(loc, pn, rdf.NewLiteral(id)))
+		pairs = append(pairs, [2]rdf.Term{ext, loc})
+	}
+	ents := Fuse(pairs, se, sl, Config{Default: Union})
+	if len(ents) != 3 {
+		t.Fatalf("entities = %d", len(ents))
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1].ID.Compare(ents[i].ID) >= 0 {
+			t.Errorf("entities not sorted: %v before %v", ents[i-1].ID, ents[i].ID)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package linkage implements the downstream linking step that runs inside
+// the reduced linking space: pairwise comparison of external and local
+// item descriptions with configurable per-property similarity measures,
+// match decisions, and evaluation against ground-truth links.
+//
+// The paper deliberately leaves the linking method open — its
+// contribution is the reduction of the space the method runs on — so this
+// engine is a standard weighted-average record matcher over the
+// similarity toolbox of internal/similarity.
+package linkage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/similarity"
+)
+
+// Comparator compares one external property against one local property
+// under a similarity measure.
+type Comparator struct {
+	ExternalProperty rdf.Term
+	LocalProperty    rdf.Term
+	Measure          similarity.Measure
+	// Weight scales this comparator's contribution; non-positive weights
+	// are rejected by Validate.
+	Weight float64
+}
+
+// Config configures the matching engine.
+type Config struct {
+	Comparators []Comparator
+	// Threshold is the minimum weighted score for a pair to be declared
+	// a match, in [0, 1].
+	Threshold float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if len(c.Comparators) == 0 {
+		return fmt.Errorf("linkage: no comparators configured")
+	}
+	for i, cmp := range c.Comparators {
+		if cmp.Measure == nil {
+			return fmt.Errorf("linkage: comparator %d has nil measure", i)
+		}
+		if cmp.Weight <= 0 {
+			return fmt.Errorf("linkage: comparator %d has non-positive weight %v", i, cmp.Weight)
+		}
+		if cmp.ExternalProperty.IsZero() || cmp.LocalProperty.IsZero() {
+			return fmt.Errorf("linkage: comparator %d has zero property", i)
+		}
+	}
+	if c.Threshold < 0 || c.Threshold > 1 {
+		return fmt.Errorf("linkage: threshold %v out of [0,1]", c.Threshold)
+	}
+	return nil
+}
+
+// Engine scores and links pairs between two graphs. Safe for concurrent
+// use after construction.
+type Engine struct {
+	cfg Config
+	se  *rdf.Graph
+	sl  *rdf.Graph
+}
+
+// New builds an engine over the external and local graphs.
+func New(cfg Config, se, sl *rdf.Graph) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, se: se, sl: sl}, nil
+}
+
+// Score computes the weighted similarity of one pair in [0, 1]. For a
+// multi-valued property the best-scoring value pair counts. Comparators
+// whose properties are absent on either side score 0 but keep their
+// weight in the denominator, penalizing missing information.
+func (e *Engine) Score(ext, loc rdf.Term) float64 {
+	num, den := 0.0, 0.0
+	for _, cmp := range e.cfg.Comparators {
+		den += cmp.Weight
+		evs := literalValues(e.se, ext, cmp.ExternalProperty)
+		lvs := literalValues(e.sl, loc, cmp.LocalProperty)
+		best := 0.0
+		for _, ev := range evs {
+			for _, lv := range lvs {
+				if s := cmp.Measure.Similarity(ev, lv); s > best {
+					best = s
+				}
+			}
+		}
+		num += cmp.Weight * best
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func literalValues(g *rdf.Graph, item, prop rdf.Term) []string {
+	var out []string
+	for _, o := range g.Objects(item, prop) {
+		if o.IsLiteral() {
+			out = append(out, o.Value)
+		}
+	}
+	return out
+}
+
+// Match is a declared same-as link with its score.
+type Match struct {
+	External rdf.Term
+	Local    rdf.Term
+	Score    float64
+}
+
+// ScorePairs scores candidate pairs and returns those at or above the
+// threshold, sorted by descending score (ties broken deterministically).
+func (e *Engine) ScorePairs(pairs [][2]rdf.Term) []Match {
+	var out []Match
+	for _, p := range pairs {
+		if s := e.Score(p[0], p[1]); s >= e.cfg.Threshold {
+			out = append(out, Match{External: p[0], Local: p[1], Score: s})
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+// LinkBest performs one-to-one greedy linking: every external item is
+// linked to its best-scoring candidate at or above the threshold. The
+// candidates map gives each external item's reduced linking space.
+func (e *Engine) LinkBest(candidates map[rdf.Term][]rdf.Term) []Match {
+	var out []Match
+	for ext, locs := range candidates {
+		best := Match{Score: -1}
+		for _, loc := range locs {
+			s := e.Score(ext, loc)
+			if s > best.Score || (s == best.Score && loc.Compare(best.Local) < 0) {
+				best = Match{External: ext, Local: loc, Score: s}
+			}
+		}
+		if best.Score >= e.cfg.Threshold {
+			out = append(out, best)
+		}
+	}
+	sortMatches(out)
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Score != ms[j].Score {
+			return ms[i].Score > ms[j].Score
+		}
+		if c := ms[i].External.Compare(ms[j].External); c != 0 {
+			return c < 0
+		}
+		return ms[i].Local.Compare(ms[j].Local) < 0
+	})
+}
+
+// Result is a confusion summary of declared links against ground truth.
+type Result struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Precision is TP / (TP + FP).
+func (r Result) Precision() float64 {
+	if r.TruePositives+r.FalsePositives == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(r.TruePositives+r.FalsePositives)
+}
+
+// Recall is TP / (TP + FN).
+func (r Result) Recall() float64 {
+	if r.TruePositives+r.FalseNegatives == 0 {
+		return 0
+	}
+	return float64(r.TruePositives) / float64(r.TruePositives+r.FalseNegatives)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (r Result) F1() float64 {
+	p, rec := r.Precision(), r.Recall()
+	if p+rec == 0 {
+		return 0
+	}
+	return 2 * p * rec / (p + rec)
+}
+
+// Evaluate scores declared matches against the truth links.
+func Evaluate(found []Match, truth []core.Link) Result {
+	truthSet := make(map[core.Link]struct{}, len(truth))
+	for _, l := range truth {
+		truthSet[l] = struct{}{}
+	}
+	var res Result
+	seen := map[core.Link]struct{}{}
+	for _, m := range found {
+		l := core.Link{External: m.External, Local: m.Local}
+		if _, dup := seen[l]; dup {
+			continue
+		}
+		seen[l] = struct{}{}
+		if _, ok := truthSet[l]; ok {
+			res.TruePositives++
+		} else {
+			res.FalsePositives++
+		}
+	}
+	res.FalseNegatives = len(truth) - res.TruePositives
+	return res
+}

@@ -1,0 +1,497 @@
+// Package ontology models the OWL class hierarchy OL that the local data
+// source conforms to. The rule learner needs exactly the operations
+// provided here: most-specific classes of an instance, leaf detection,
+// subsumption tests, and (for the generalization extension) parent/sibling
+// navigation.
+//
+// The hierarchy is a DAG of named classes under an implicit owl:Thing
+// root. Cycles are rejected by Validate. Query methods memoize transitive
+// closures; mutation invalidates the memo, so the intended usage is
+// build-then-query (which matches the pipeline).
+package ontology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Class identifies an ontology class by IRI term.
+type Class = rdf.Term
+
+// Ontology is a mutable class hierarchy with memoized closure queries.
+// It is not safe for concurrent mutation; concurrent reads are safe once
+// building is finished and Finalize (or any query) has been called.
+type Ontology struct {
+	nodes map[Class]*node
+
+	// memoized transitive closures, built lazily
+	closureValid bool
+	ancestors    map[Class]map[Class]struct{}
+	descendants  map[Class]map[Class]struct{}
+	depths       map[Class]int
+
+	disjoint map[Class]map[Class]struct{}
+}
+
+type node struct {
+	parents  map[Class]struct{}
+	children map[Class]struct{}
+	label    string
+}
+
+// New returns an empty ontology.
+func New() *Ontology {
+	return &Ontology{
+		nodes:    map[Class]*node{},
+		disjoint: map[Class]map[Class]struct{}{},
+	}
+}
+
+// ErrCycle reports that the subClassOf graph is not a DAG.
+var ErrCycle = errors.New("ontology: subClassOf cycle")
+
+// ErrUnknownClass reports a query about a class never declared.
+var ErrUnknownClass = errors.New("ontology: unknown class")
+
+// AddClass declares a class; it is a no-op if already declared.
+func (o *Ontology) AddClass(c Class) {
+	if _, ok := o.nodes[c]; ok {
+		return
+	}
+	o.nodes[c] = &node{parents: map[Class]struct{}{}, children: map[Class]struct{}{}}
+	o.closureValid = false
+}
+
+// SetLabel attaches a human-readable label to a declared class.
+func (o *Ontology) SetLabel(c Class, label string) {
+	o.AddClass(c)
+	o.nodes[c].label = label
+}
+
+// Label returns the class label, or the IRI local name if none was set.
+func (o *Ontology) Label(c Class) string {
+	if n, ok := o.nodes[c]; ok && n.label != "" {
+		return n.label
+	}
+	return LocalName(c)
+}
+
+// LocalName extracts the fragment or last path segment of a class IRI.
+func LocalName(c Class) string {
+	s := c.Value
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '#' || s[i] == '/' {
+			return s[i+1:]
+		}
+	}
+	return s
+}
+
+// AddSubClassOf declares sub ⊑ super, declaring both classes as needed.
+func (o *Ontology) AddSubClassOf(sub, super Class) {
+	if sub == super {
+		return
+	}
+	o.AddClass(sub)
+	o.AddClass(super)
+	o.nodes[sub].parents[super] = struct{}{}
+	o.nodes[super].children[sub] = struct{}{}
+	o.closureValid = false
+}
+
+// AddDisjoint declares a ⊥ b (symmetric).
+func (o *Ontology) AddDisjoint(a, b Class) {
+	o.AddClass(a)
+	o.AddClass(b)
+	if o.disjoint[a] == nil {
+		o.disjoint[a] = map[Class]struct{}{}
+	}
+	if o.disjoint[b] == nil {
+		o.disjoint[b] = map[Class]struct{}{}
+	}
+	o.disjoint[a][b] = struct{}{}
+	o.disjoint[b][a] = struct{}{}
+}
+
+// FromGraph builds an ontology from the owl:Class, rdfs:subClassOf,
+// rdfs:label and owl:disjointWith triples of g.
+func FromGraph(g *rdf.Graph) (*Ontology, error) {
+	o := New()
+	for _, s := range g.Subjects(rdf.TypeTerm, rdf.ClassTerm) {
+		if s.IsIRI() {
+			o.AddClass(s)
+		}
+	}
+	g.Match(rdf.Term{}, rdf.SubClassOfTerm, rdf.Term{}, func(t rdf.Triple) bool {
+		if t.S.IsIRI() && t.O.IsIRI() {
+			o.AddSubClassOf(t.S, t.O)
+		}
+		return true
+	})
+	g.Match(rdf.Term{}, rdf.DisjointWithTerm, rdf.Term{}, func(t rdf.Triple) bool {
+		if t.S.IsIRI() && t.O.IsIRI() {
+			o.AddDisjoint(t.S, t.O)
+		}
+		return true
+	})
+	g.Match(rdf.Term{}, rdf.LabelTerm, rdf.Term{}, func(t rdf.Triple) bool {
+		if _, ok := o.nodes[t.S]; ok && t.O.IsLiteral() {
+			o.SetLabel(t.S, t.O.Value)
+		}
+		return true
+	})
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// ToGraph serializes the ontology back to RDF triples.
+func (o *Ontology) ToGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	for c, n := range o.nodes {
+		g.Add(rdf.T(c, rdf.TypeTerm, rdf.ClassTerm))
+		if n.label != "" {
+			g.Add(rdf.T(c, rdf.LabelTerm, rdf.NewLiteral(n.label)))
+		}
+		for p := range n.parents {
+			g.Add(rdf.T(c, rdf.SubClassOfTerm, p))
+		}
+	}
+	for a, bs := range o.disjoint {
+		for b := range bs {
+			g.Add(rdf.T(a, rdf.DisjointWithTerm, b))
+		}
+	}
+	return g
+}
+
+// Len returns the number of declared classes.
+func (o *Ontology) Len() int { return len(o.nodes) }
+
+// Has reports whether c is declared.
+func (o *Ontology) Has(c Class) bool {
+	_, ok := o.nodes[c]
+	return ok
+}
+
+// Classes returns all declared classes, sorted.
+func (o *Ontology) Classes() []Class {
+	out := make([]Class, 0, len(o.nodes))
+	for c := range o.nodes {
+		out = append(out, c)
+	}
+	sortClasses(out)
+	return out
+}
+
+// Parents returns the direct superclasses of c, sorted.
+func (o *Ontology) Parents(c Class) []Class {
+	n, ok := o.nodes[c]
+	if !ok {
+		return nil
+	}
+	return setToSorted(n.parents)
+}
+
+// Children returns the direct subclasses of c, sorted.
+func (o *Ontology) Children(c Class) []Class {
+	n, ok := o.nodes[c]
+	if !ok {
+		return nil
+	}
+	return setToSorted(n.children)
+}
+
+// Roots returns the classes with no declared superclass, sorted.
+func (o *Ontology) Roots() []Class {
+	var out []Class
+	for c, n := range o.nodes {
+		if len(n.parents) == 0 {
+			out = append(out, c)
+		}
+	}
+	sortClasses(out)
+	return out
+}
+
+// Leaves returns the classes with no subclasses, sorted. These are the
+// "most specific classes of the ontology" Algorithm 1 counts over.
+func (o *Ontology) Leaves() []Class {
+	var out []Class
+	for c, n := range o.nodes {
+		if len(n.children) == 0 {
+			out = append(out, c)
+		}
+	}
+	sortClasses(out)
+	return out
+}
+
+// IsLeaf reports whether c has no subclasses. Unknown classes are not
+// leaves.
+func (o *Ontology) IsLeaf(c Class) bool {
+	n, ok := o.nodes[c]
+	return ok && len(n.children) == 0
+}
+
+// Validate checks that the subClassOf graph is acyclic.
+func (o *Ontology) Validate() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Class]int, len(o.nodes))
+	var visit func(c Class) error
+	visit = func(c Class) error {
+		switch color[c] {
+		case gray:
+			return fmt.Errorf("%w involving %s", ErrCycle, c.Value)
+		case black:
+			return nil
+		}
+		color[c] = gray
+		for p := range o.nodes[c].parents {
+			if err := visit(p); err != nil {
+				return err
+			}
+		}
+		color[c] = black
+		return nil
+	}
+	for c := range o.nodes {
+		if err := visit(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildClosure computes ancestor/descendant sets and depths for all
+// classes in one pass each.
+func (o *Ontology) buildClosure() {
+	if o.closureValid {
+		return
+	}
+	o.ancestors = make(map[Class]map[Class]struct{}, len(o.nodes))
+	o.descendants = make(map[Class]map[Class]struct{}, len(o.nodes))
+	o.depths = make(map[Class]int, len(o.nodes))
+
+	var upward func(c Class) map[Class]struct{}
+	upward = func(c Class) map[Class]struct{} {
+		if got, ok := o.ancestors[c]; ok {
+			return got
+		}
+		acc := map[Class]struct{}{}
+		o.ancestors[c] = acc // pre-register: Validate guarantees no cycles
+		for p := range o.nodes[c].parents {
+			acc[p] = struct{}{}
+			for a := range upward(p) {
+				acc[a] = struct{}{}
+			}
+		}
+		return acc
+	}
+	var downward func(c Class) map[Class]struct{}
+	downward = func(c Class) map[Class]struct{} {
+		if got, ok := o.descendants[c]; ok {
+			return got
+		}
+		acc := map[Class]struct{}{}
+		o.descendants[c] = acc
+		for ch := range o.nodes[c].children {
+			acc[ch] = struct{}{}
+			for d := range downward(ch) {
+				acc[d] = struct{}{}
+			}
+		}
+		return acc
+	}
+	var depth func(c Class) int
+	depth = func(c Class) int {
+		if d, ok := o.depths[c]; ok {
+			return d
+		}
+		best := 0
+		for p := range o.nodes[c].parents {
+			if d := depth(p) + 1; d > best {
+				best = d
+			}
+		}
+		o.depths[c] = best
+		return best
+	}
+	for c := range o.nodes {
+		upward(c)
+		downward(c)
+		depth(c)
+	}
+	o.closureValid = true
+}
+
+// Finalize precomputes all closures; optional, queries trigger it lazily.
+func (o *Ontology) Finalize() { o.buildClosure() }
+
+// Ancestors returns every strict superclass of c (transitively), sorted.
+func (o *Ontology) Ancestors(c Class) []Class {
+	if _, ok := o.nodes[c]; !ok {
+		return nil
+	}
+	o.buildClosure()
+	return setToSorted(o.ancestors[c])
+}
+
+// Descendants returns every strict subclass of c (transitively), sorted.
+func (o *Ontology) Descendants(c Class) []Class {
+	if _, ok := o.nodes[c]; !ok {
+		return nil
+	}
+	o.buildClosure()
+	return setToSorted(o.descendants[c])
+}
+
+// Subsumes reports whether sub ⊑ super (reflexive: c subsumes c).
+func (o *Ontology) Subsumes(super, sub Class) bool {
+	if super == sub {
+		return o.Has(super)
+	}
+	if _, ok := o.nodes[sub]; !ok {
+		return false
+	}
+	o.buildClosure()
+	_, ok := o.ancestors[sub][super]
+	return ok
+}
+
+// Depth returns the length of the longest path from a root to c, and
+// false when c is unknown.
+func (o *Ontology) Depth(c Class) (int, bool) {
+	if _, ok := o.nodes[c]; !ok {
+		return 0, false
+	}
+	o.buildClosure()
+	return o.depths[c], true
+}
+
+// MostSpecific filters cs down to the classes that are not strict
+// ancestors of any other class in cs. Duplicates and unknown classes are
+// dropped. The result is sorted.
+func (o *Ontology) MostSpecific(cs []Class) []Class {
+	o.buildClosure()
+	in := map[Class]struct{}{}
+	for _, c := range cs {
+		if o.Has(c) {
+			in[c] = struct{}{}
+		}
+	}
+	var out []Class
+	for c := range in {
+		dominated := false
+		for other := range in {
+			if other == c {
+				continue
+			}
+			if _, isAnc := o.ancestors[other][c]; isAnc {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sortClasses(out)
+	return out
+}
+
+// LCA returns the deepest common ancestor of a and b (either argument
+// itself qualifies when one subsumes the other), and false when the two
+// classes share no ancestor.
+func (o *Ontology) LCA(a, b Class) (Class, bool) {
+	if !o.Has(a) || !o.Has(b) {
+		return Class{}, false
+	}
+	o.buildClosure()
+	candidates := map[Class]struct{}{a: {}}
+	for x := range o.ancestors[a] {
+		candidates[x] = struct{}{}
+	}
+	var best Class
+	bestDepth := -1
+	consider := func(c Class) {
+		if _, ok := candidates[c]; !ok {
+			return
+		}
+		if d := o.depths[c]; d > bestDepth || (d == bestDepth && c.Compare(best) < 0) {
+			best, bestDepth = c, d
+		}
+	}
+	consider(b)
+	for x := range o.ancestors[b] {
+		consider(x)
+	}
+	if bestDepth < 0 {
+		return Class{}, false
+	}
+	return best, true
+}
+
+// Disjoint reports whether a and b are declared (or inherited) disjoint:
+// a pair is disjoint when any ancestor-or-self of a is declared disjoint
+// with any ancestor-or-self of b.
+func (o *Ontology) Disjoint(a, b Class) bool {
+	if !o.Has(a) || !o.Has(b) {
+		return false
+	}
+	o.buildClosure()
+	as := map[Class]struct{}{a: {}}
+	for x := range o.ancestors[a] {
+		as[x] = struct{}{}
+	}
+	for x := range as {
+		for y := range o.disjoint[x] {
+			if y == b {
+				return true
+			}
+			if _, ok := o.ancestors[b][y]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Siblings returns the classes sharing at least one direct parent with c,
+// excluding c, sorted. Used by the rule-generalization extension.
+func (o *Ontology) Siblings(c Class) []Class {
+	n, ok := o.nodes[c]
+	if !ok {
+		return nil
+	}
+	set := map[Class]struct{}{}
+	for p := range n.parents {
+		for ch := range o.nodes[p].children {
+			if ch != c {
+				set[ch] = struct{}{}
+			}
+		}
+	}
+	return setToSorted(set)
+}
+
+func setToSorted(set map[Class]struct{}) []Class {
+	out := make([]Class, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sortClasses(out)
+	return out
+}
+
+func sortClasses(cs []Class) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Compare(cs[j]) < 0 })
+}

@@ -1,0 +1,298 @@
+package rdf
+
+import (
+	"sort"
+)
+
+// Graph is an in-memory RDF triple store with three full indexes
+// (SPO, POS, OSP) so that every triple-pattern lookup touches only the
+// matching slice of the data. Graph is not safe for concurrent mutation;
+// concurrent readers are safe once loading is complete, which matches the
+// pipeline's load-then-query usage.
+type Graph struct {
+	spo index
+	pos index
+	osp index
+	n   int
+}
+
+// index is a three-level nested map: first key -> second key -> set of
+// third keys. The empty struct value keeps the leaf sets allocation-light.
+type index map[Term]map[Term]map[Term]struct{}
+
+func (ix index) add(a, b, c Term) bool {
+	m2, ok := ix[a]
+	if !ok {
+		m2 = make(map[Term]map[Term]struct{})
+		ix[a] = m2
+	}
+	m3, ok := m2[b]
+	if !ok {
+		m3 = make(map[Term]struct{})
+		m2[b] = m3
+	}
+	if _, dup := m3[c]; dup {
+		return false
+	}
+	m3[c] = struct{}{}
+	return true
+}
+
+func (ix index) remove(a, b, c Term) bool {
+	m2, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[b]
+	if !ok {
+		return false
+	}
+	if _, ok := m3[c]; !ok {
+		return false
+	}
+	delete(m3, c)
+	if len(m3) == 0 {
+		delete(m2, b)
+		if len(m2) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(index),
+		pos: make(index),
+		osp: make(index),
+	}
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int { return g.n }
+
+// Add inserts t, reporting whether it was not already present.
+// Invalid triples (per Triple.Validate) are rejected and not inserted.
+func (g *Graph) Add(t Triple) bool {
+	if t.Validate() != nil {
+		return false
+	}
+	if !g.spo.add(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.add(t.P, t.O, t.S)
+	g.osp.add(t.O, t.S, t.P)
+	g.n++
+	return true
+}
+
+// AddAll inserts every triple of ts and returns how many were new.
+func (g *Graph) AddAll(ts []Triple) int {
+	added := 0
+	for _, t := range ts {
+		if g.Add(t) {
+			added++
+		}
+	}
+	return added
+}
+
+// Remove deletes t, reporting whether it was present.
+func (g *Graph) Remove(t Triple) bool {
+	if !g.spo.remove(t.S, t.P, t.O) {
+		return false
+	}
+	g.pos.remove(t.P, t.O, t.S)
+	g.osp.remove(t.O, t.S, t.P)
+	g.n--
+	return true
+}
+
+// Has reports whether t is in the graph.
+func (g *Graph) Has(t Triple) bool {
+	m2, ok := g.spo[t.S]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[t.P]
+	if !ok {
+		return false
+	}
+	_, ok = m3[t.O]
+	return ok
+}
+
+// Match calls fn for every triple matching the pattern; a zero Term in a
+// position is a wildcard. Iteration stops early if fn returns false.
+// The most selective index available for the bound positions is used.
+func (g *Graph) Match(s, p, o Term, fn func(Triple) bool) {
+	switch {
+	case !s.IsZero() && !p.IsZero() && !o.IsZero():
+		if g.Has(Triple{s, p, o}) {
+			fn(Triple{s, p, o})
+		}
+	case !s.IsZero() && !p.IsZero():
+		for obj := range g.spo[s][p] {
+			if !fn(Triple{s, p, obj}) {
+				return
+			}
+		}
+	case !s.IsZero() && !o.IsZero():
+		for pred := range g.osp[o][s] {
+			if !fn(Triple{s, pred, o}) {
+				return
+			}
+		}
+	case !p.IsZero() && !o.IsZero():
+		for subj := range g.pos[p][o] {
+			if !fn(Triple{subj, p, o}) {
+				return
+			}
+		}
+	case !s.IsZero():
+		for pred, objs := range g.spo[s] {
+			for obj := range objs {
+				if !fn(Triple{s, pred, obj}) {
+					return
+				}
+			}
+		}
+	case !p.IsZero():
+		for obj, subjs := range g.pos[p] {
+			for subj := range subjs {
+				if !fn(Triple{subj, p, obj}) {
+					return
+				}
+			}
+		}
+	case !o.IsZero():
+		for subj, preds := range g.osp[o] {
+			for pred := range preds {
+				if !fn(Triple{subj, pred, o}) {
+					return
+				}
+			}
+		}
+	default:
+		for subj, m2 := range g.spo {
+			for pred, objs := range m2 {
+				for obj := range objs {
+					if !fn(Triple{subj, pred, obj}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Find returns all triples matching the pattern (zero Term = wildcard),
+// sorted deterministically.
+func (g *Graph) Find(s, p, o Term) []Triple {
+	var out []Triple
+	g.Match(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Objects returns the distinct objects of triples (s, p, ?o), sorted.
+func (g *Graph) Objects(s, p Term) []Term {
+	objs := g.spo[s][p]
+	out := make([]Term, 0, len(objs))
+	for o := range objs {
+		out = append(out, o)
+	}
+	sortTerms(out)
+	return out
+}
+
+// FirstObject returns one object of (s, p, ?o) and whether any exists.
+// When several objects exist the smallest in Term.Compare order is
+// returned, so the choice is deterministic.
+func (g *Graph) FirstObject(s, p Term) (Term, bool) {
+	objs := g.spo[s][p]
+	if len(objs) == 0 {
+		return Term{}, false
+	}
+	var best Term
+	first := true
+	for o := range objs {
+		if first || o.Compare(best) < 0 {
+			best, first = o, false
+		}
+	}
+	return best, true
+}
+
+// Subjects returns the distinct subjects of triples (?s, p, o), sorted.
+func (g *Graph) Subjects(p, o Term) []Term {
+	subjs := g.pos[p][o]
+	out := make([]Term, 0, len(subjs))
+	for s := range subjs {
+		out = append(out, s)
+	}
+	sortTerms(out)
+	return out
+}
+
+// SubjectCount returns the number of distinct subjects of (?s, p, o)
+// without materializing them.
+func (g *Graph) SubjectCount(p, o Term) int { return len(g.pos[p][o]) }
+
+// Predicates returns the distinct predicates used in the graph, sorted.
+func (g *Graph) Predicates() []Term {
+	out := make([]Term, 0, len(g.pos))
+	for p := range g.pos {
+		out = append(out, p)
+	}
+	sortTerms(out)
+	return out
+}
+
+// AllSubjects returns the distinct subjects appearing in the graph, sorted.
+func (g *Graph) AllSubjects() []Term {
+	out := make([]Term, 0, len(g.spo))
+	for s := range g.spo {
+		out = append(out, s)
+	}
+	sortTerms(out)
+	return out
+}
+
+// Triples returns every triple, sorted deterministically.
+func (g *Graph) Triples() []Triple {
+	out := make([]Triple, 0, g.n)
+	g.Match(Term{}, Term{}, Term{}, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Merge adds every triple of other into g and returns how many were new.
+func (g *Graph) Merge(other *Graph) int {
+	added := 0
+	other.Match(Term{}, Term{}, Term{}, func(t Triple) bool {
+		if g.Add(t) {
+			added++
+		}
+		return true
+	})
+	return added
+}
+
+// Clone returns an independent deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	c.Merge(g)
+	return c
+}
+
+func sortTerms(ts []Term) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

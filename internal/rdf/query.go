@@ -1,0 +1,226 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Var is a query variable, identified by name. Variables embed into
+// Pattern positions through VarTerm.
+type Var string
+
+// varKind is a private TermKind value marking variable terms inside
+// patterns; it never appears in stored triples.
+const varKind TermKind = 255
+
+// VarTerm returns a pattern term standing for the variable v.
+func VarTerm(v Var) Term { return Term{Kind: varKind, Value: string(v)} }
+
+// IsVar reports whether t is a pattern variable and returns its name.
+func IsVar(t Term) (Var, bool) {
+	if t.Kind == varKind {
+		return Var(t.Value), true
+	}
+	return "", false
+}
+
+// Pattern is one triple pattern: any position may be a constant term or
+// a variable (VarTerm). The zero Term is not allowed in patterns — use a
+// variable for "don't care" positions so bindings stay explicit.
+type Pattern struct {
+	S, P, O Term
+}
+
+// String renders the pattern for diagnostics.
+func (p Pattern) String() string {
+	f := func(t Term) string {
+		if v, ok := IsVar(t); ok {
+			return "?" + string(v)
+		}
+		return t.String()
+	}
+	return fmt.Sprintf("%s %s %s .", f(p.S), f(p.P), f(p.O))
+}
+
+// Binding maps variables to terms; one solution of a query.
+type Binding map[Var]Term
+
+// clone copies the binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Query is a conjunction of triple patterns (a basic graph pattern).
+// The paper's classification rule premise and conclusion are exactly
+// such conjunctions, e.g.:
+//
+//	?x  <partNumber>  ?y .
+//	?x  rdf:type      <FixedFilmResistor> .
+type Query struct {
+	Patterns []Pattern
+	// Limit stops the solver after this many solutions; 0 = unlimited.
+	Limit int
+}
+
+// Validate rejects queries with zero terms in pattern positions or no
+// patterns at all.
+func (q Query) Validate() error {
+	if len(q.Patterns) == 0 {
+		return fmt.Errorf("rdf: query has no patterns")
+	}
+	for i, p := range q.Patterns {
+		if p.S.IsZero() || p.P.IsZero() || p.O.IsZero() {
+			return fmt.Errorf("rdf: query pattern %d has a zero term (use a variable)", i)
+		}
+		if _, isVar := IsVar(p.P); !isVar && p.P.Kind != IRIKind {
+			return fmt.Errorf("rdf: query pattern %d predicate must be IRI or variable", i)
+		}
+	}
+	return nil
+}
+
+// Solve enumerates all bindings satisfying the conjunction over g, in
+// deterministic order. Patterns are greedily reordered by estimated
+// selectivity (bound positions count), a standard BGP heuristic.
+func (g *Graph) Solve(q Query) ([]Binding, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	patterns := append([]Pattern(nil), q.Patterns...)
+
+	var results []Binding
+	var recurse func(remaining []Pattern, current Binding) bool
+
+	// pick selects the most selective remaining pattern under the
+	// current binding: more bound positions first, with P+O bound worth
+	// more than S bound (POS index selectivity).
+	pick := func(remaining []Pattern, current Binding) int {
+		bestIdx, bestScore := 0, -1
+		for i, p := range remaining {
+			score := 0
+			for _, t := range []Term{p.S, p.P, p.O} {
+				if v, ok := IsVar(t); ok {
+					if _, bound := current[v]; bound {
+						score += 2
+					}
+				} else {
+					score += 2
+				}
+			}
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		return bestIdx
+	}
+
+	resolve := func(t Term, current Binding) (Term, bool) {
+		v, ok := IsVar(t)
+		if !ok {
+			return t, true
+		}
+		bound, ok := current[v]
+		return bound, ok
+	}
+
+	recurse = func(remaining []Pattern, current Binding) bool {
+		if len(remaining) == 0 {
+			results = append(results, current.clone())
+			return q.Limit == 0 || len(results) < q.Limit
+		}
+		idx := pick(remaining, current)
+		p := remaining[idx]
+		rest := make([]Pattern, 0, len(remaining)-1)
+		rest = append(rest, remaining[:idx]...)
+		rest = append(rest, remaining[idx+1:]...)
+
+		s, sOK := resolve(p.S, current)
+		pr, pOK := resolve(p.P, current)
+		o, oOK := resolve(p.O, current)
+		ms, mp, mo := Term{}, Term{}, Term{}
+		if sOK {
+			ms = s
+		}
+		if pOK {
+			mp = pr
+		}
+		if oOK {
+			mo = o
+		}
+
+		cont := true
+		// Deterministic iteration: collect matches then sort.
+		var matches []Triple
+		g.Match(ms, mp, mo, func(t Triple) bool {
+			matches = append(matches, t)
+			return true
+		})
+		sort.Slice(matches, func(i, j int) bool { return matches[i].Compare(matches[j]) < 0 })
+		for _, t := range matches {
+			next := current
+			dirty := false
+			bind := func(pos Term, val Term) bool {
+				v, ok := IsVar(pos)
+				if !ok {
+					return true
+				}
+				if bound, ok := next[v]; ok {
+					return bound == val
+				}
+				if !dirty {
+					next = next.clone()
+					dirty = true
+				}
+				next[v] = val
+				return true
+			}
+			if !bind(p.S, t.S) || !bind(p.P, t.P) || !bind(p.O, t.O) {
+				continue
+			}
+			if !recurse(rest, next) {
+				cont = false
+				break
+			}
+		}
+		return cont
+	}
+
+	recurse(patterns, Binding{})
+	sortBindings(results)
+	return results, nil
+}
+
+// Count returns the number of solutions without retaining them.
+func (g *Graph) Count(q Query) (int, error) {
+	sols, err := g.Solve(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(sols), nil
+}
+
+// sortBindings orders solutions deterministically by their variable
+// values (variables in name order).
+func sortBindings(bs []Binding) {
+	key := func(b Binding) string {
+		vars := make([]string, 0, len(b))
+		for v := range b {
+			vars = append(vars, string(v))
+		}
+		sort.Strings(vars)
+		var sb strings.Builder
+		for _, v := range vars {
+			sb.WriteString(v)
+			sb.WriteByte('=')
+			sb.WriteString(b[Var(v)].String())
+			sb.WriteByte(';')
+		}
+		return sb.String()
+	}
+	sort.Slice(bs, func(i, j int) bool { return key(bs[i]) < key(bs[j]) })
+}

@@ -1,0 +1,228 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+// queryGraph builds a toy product graph:
+//
+//	p1 type Resistor,  p1 pn "R-100", p1 madeBy acme
+//	p2 type Resistor,  p2 pn "R-200", p2 madeBy bolt
+//	p3 type Capacitor, p3 pn "C-300", p3 madeBy acme
+func queryGraph(t testing.TB) *Graph {
+	t.Helper()
+	g := NewGraph()
+	pn := ex("pn")
+	madeBy := ex("madeBy")
+	add := func(id, class, pnv, mf string) {
+		g.Add(T(ex(id), TypeTerm, ex(class)))
+		g.Add(T(ex(id), pn, NewLiteral(pnv)))
+		g.Add(T(ex(id), madeBy, ex(mf)))
+	}
+	add("p1", "Resistor", "R-100", "acme")
+	add("p2", "Resistor", "R-200", "bolt")
+	add("p3", "Capacitor", "C-300", "acme")
+	return g
+}
+
+func TestSolveSinglePattern(t *testing.T) {
+	g := queryGraph(t)
+	q := Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: TypeTerm, O: ex("Resistor")},
+	}}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(sols) != 2 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	if sols[0]["x"] != ex("p1") || sols[1]["x"] != ex("p2") {
+		t.Errorf("solutions = %v, want p1 then p2", sols)
+	}
+}
+
+func TestSolveJoin(t *testing.T) {
+	g := queryGraph(t)
+	// Resistors made by acme: only p1.
+	q := Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: TypeTerm, O: ex("Resistor")},
+		{S: VarTerm("x"), P: ex("madeBy"), O: ex("acme")},
+	}}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(sols) != 1 || sols[0]["x"] != ex("p1") {
+		t.Errorf("solutions = %v, want [p1]", sols)
+	}
+}
+
+func TestSolveMultiVariable(t *testing.T) {
+	g := queryGraph(t)
+	// Pairs (product, manufacturer) of the same class as p3.
+	q := Query{Patterns: []Pattern{
+		{S: ex("p3"), P: TypeTerm, O: VarTerm("c")},
+		{S: VarTerm("y"), P: TypeTerm, O: VarTerm("c")},
+		{S: VarTerm("y"), P: ex("madeBy"), O: VarTerm("m")},
+	}}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(sols) != 1 {
+		t.Fatalf("solutions = %v", sols)
+	}
+	if sols[0]["y"] != ex("p3") || sols[0]["m"] != ex("acme") || sols[0]["c"] != ex("Capacitor") {
+		t.Errorf("solution = %v", sols[0])
+	}
+}
+
+func TestSolveSharedVariableAcrossPositions(t *testing.T) {
+	g := NewGraph()
+	g.Add(T(ex("a"), ex("knows"), ex("a"))) // self loop
+	g.Add(T(ex("a"), ex("knows"), ex("b")))
+	q := Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: ex("knows"), O: VarTerm("x")},
+	}}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(sols) != 1 || sols[0]["x"] != ex("a") {
+		t.Errorf("self-loop solutions = %v", sols)
+	}
+}
+
+func TestSolveNoSolutions(t *testing.T) {
+	g := queryGraph(t)
+	q := Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: TypeTerm, O: ex("Transistor")},
+	}}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(sols) != 0 {
+		t.Errorf("solutions = %v, want none", sols)
+	}
+}
+
+func TestSolveLimit(t *testing.T) {
+	g := queryGraph(t)
+	q := Query{
+		Patterns: []Pattern{{S: VarTerm("x"), P: VarTerm("p"), O: VarTerm("o")}},
+		Limit:    4,
+	}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if len(sols) != 4 {
+		t.Errorf("solutions = %d, want limit 4", len(sols))
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	g := queryGraph(t)
+	if _, err := g.Solve(Query{}); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := g.Solve(Query{Patterns: []Pattern{{S: VarTerm("x"), P: TypeTerm}}}); err == nil {
+		t.Error("zero-term pattern accepted")
+	}
+	if _, err := g.Solve(Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: NewLiteral("p"), O: VarTerm("o")},
+	}}); err == nil {
+		t.Error("literal predicate accepted")
+	}
+}
+
+func TestSolvePaperRuleShape(t *testing.T) {
+	// The paper's conjunction premise ∧ conclusion as a query:
+	// ?x pn ?y ∧ ?x type FixedFilm — counting its solutions is the
+	// rule's joint count (modulo subsegment, which is not a graph atom).
+	g := NewGraph()
+	pn := ex("pn")
+	for i := 0; i < 5; i++ {
+		item := ex(fmt.Sprintf("i%d", i))
+		g.Add(T(item, pn, NewLiteral(fmt.Sprintf("ohm-%d", i))))
+		class := "FixedFilm"
+		if i >= 3 {
+			class = "Tantalum"
+		}
+		g.Add(T(item, TypeTerm, ex(class)))
+	}
+	n, err := g.Count(Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: pn, O: VarTerm("y")},
+		{S: VarTerm("x"), P: TypeTerm, O: ex("FixedFilm")},
+	}})
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if n != 3 {
+		t.Errorf("Count = %d, want 3", n)
+	}
+}
+
+func TestSolveDeterministicOrder(t *testing.T) {
+	g := queryGraph(t)
+	q := Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: ex("madeBy"), O: VarTerm("m")},
+	}}
+	a, err := g.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b, err := g.Solve(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatal("varying solution counts")
+		}
+		for j := range a {
+			if a[j]["x"] != b[j]["x"] || a[j]["m"] != b[j]["m"] {
+				t.Fatalf("non-deterministic order at %d", j)
+			}
+		}
+	}
+}
+
+func TestSolveCartesianProductOfDisjointPatterns(t *testing.T) {
+	g := queryGraph(t)
+	// Two unconnected variables: 3 products x 2 manufacturers = 6 rows
+	// for (x type ?, m used as manufacturer of anything).
+	q := Query{Patterns: []Pattern{
+		{S: VarTerm("x"), P: TypeTerm, O: VarTerm("c")},
+		{S: VarTerm("y"), P: ex("madeBy"), O: ex("acme")},
+	}}
+	sols, err := g.Solve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 typed products × 2 acme-made products = 6 combinations.
+	if len(sols) != 6 {
+		t.Errorf("solutions = %d, want 6", len(sols))
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	p := Pattern{S: VarTerm("x"), P: TypeTerm, O: ex("C")}
+	want := "?x <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://example.org/C> ."
+	if got := p.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestVarTermRoundTrip(t *testing.T) {
+	v, ok := IsVar(VarTerm("abc"))
+	if !ok || v != "abc" {
+		t.Errorf("IsVar(VarTerm) = %v,%v", v, ok)
+	}
+	if _, ok := IsVar(NewIRI("http://x")); ok {
+		t.Error("IRI recognized as variable")
+	}
+}

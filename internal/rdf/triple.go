@@ -1,0 +1,48 @@
+package rdf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Triple is an RDF triple. Like Term it is comparable, so it can key maps
+// and be deduplicated by the store without auxiliary hashing.
+type Triple struct {
+	S, P, O Term
+}
+
+// T is shorthand for constructing a triple.
+func T(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// ErrInvalidTriple reports a triple violating RDF's positional constraints.
+var ErrInvalidTriple = errors.New("rdf: invalid triple")
+
+// Validate checks the RDF positional constraints: the subject must be an
+// IRI or blank node, the predicate an IRI, and the object any non-zero term.
+func (t Triple) Validate() error {
+	switch {
+	case t.S.Kind != IRIKind && t.S.Kind != BlankKind:
+		return fmt.Errorf("%w: subject must be IRI or blank node, got %s", ErrInvalidTriple, t.S.Kind)
+	case t.P.Kind != IRIKind:
+		return fmt.Errorf("%w: predicate must be IRI, got %s", ErrInvalidTriple, t.P.Kind)
+	case t.O.IsZero():
+		return fmt.Errorf("%w: object is the zero term", ErrInvalidTriple)
+	}
+	return nil
+}
+
+// String renders the triple as an N-Triples statement (without newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}
+
+// Compare orders triples by subject, then predicate, then object.
+func (t Triple) Compare(u Triple) int {
+	if c := t.S.Compare(u.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(u.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(u.O)
+}

@@ -1,0 +1,163 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteTurtleRoundTrip(t *testing.T) {
+	g := NewGraph()
+	alice := NewIRI("http://example.org/alice")
+	g.Add(T(alice, TypeTerm, NewIRI("http://example.org/Person")))
+	g.Add(T(alice, LabelTerm, NewLiteral("Alice")))
+	g.Add(T(alice, LabelTerm, NewLangLiteral("Alicia", "es")))
+	g.Add(T(alice, NewIRI("http://example.org/age"), NewTypedLiteral("30", XSDInteger)))
+	g.Add(T(alice, NewIRI("http://example.org/knows"), NewBlank("b1")))
+	g.Add(T(NewBlank("b1"), LabelTerm, NewLiteral("Bob \"the\" builder\njunior")))
+
+	var buf bytes.Buffer
+	opts := TurtleWriterOptions{Prefixes: map[string]string{
+		"rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+		"ex":   "http://example.org/",
+	}}
+	if err := WriteTurtle(&buf, g, opts); err != nil {
+		t.Fatalf("WriteTurtle: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"@prefix ex:", "ex:alice", " a ex:Person", "rdfs:label", `"Alicia"@es`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	g2, err := ReadTurtle(&buf)
+	if err != nil {
+		t.Fatalf("ReadTurtle(own output): %v\n%s", err, out)
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round-trip Len = %d, want %d\n%s", g2.Len(), g.Len(), out)
+	}
+	for _, tr := range g.Triples() {
+		if !g2.Has(tr) {
+			t.Errorf("round-trip lost %v\n%s", tr, out)
+		}
+	}
+}
+
+func TestWriteTurtleDefaultPrefixes(t *testing.T) {
+	g := NewGraph()
+	g.Add(T(NewIRI("http://x.org/c"), TypeTerm, ClassTerm))
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, g, TurtleWriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "owl:Class") {
+		t.Errorf("owl prefix not applied:\n%s", buf.String())
+	}
+}
+
+func TestWriteTurtleTypedLiteralCompaction(t *testing.T) {
+	g := NewGraph()
+	g.Add(T(NewIRI("http://x.org/i"), NewIRI("http://x.org/age"), NewTypedLiteral("5", XSDInteger)))
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, g, TurtleWriterOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"5"^^xsd:integer`) {
+		t.Errorf("xsd datatype not compacted:\n%s", buf.String())
+	}
+	g2, err := ReadTurtle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if !g2.Has(T(NewIRI("http://x.org/i"), NewIRI("http://x.org/age"), NewTypedLiteral("5", XSDInteger))) {
+		t.Error("typed literal lost in round trip")
+	}
+}
+
+func TestWriteTurtleNoCompactionForUnsafeLocal(t *testing.T) {
+	g := NewGraph()
+	// Local name ending in '.' must stay a full IRI.
+	g.Add(T(NewIRI("http://example.org/v1."), NewIRI("http://example.org/p"), NewLiteral("x")))
+	var buf bytes.Buffer
+	opts := TurtleWriterOptions{Prefixes: map[string]string{"ex": "http://example.org/"}}
+	if err := WriteTurtle(&buf, g, opts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<http://example.org/v1.>") {
+		t.Errorf("unsafe local name was compacted:\n%s", buf.String())
+	}
+	if _, err := ReadTurtle(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("own output unparseable: %v\n%s", err, buf.String())
+	}
+}
+
+// Property: Turtle write → read is the identity on graphs of generated
+// terms.
+func TestWriteTurtleRoundTripProperty(t *testing.T) {
+	f := func(items []randomTerm, seed uint8) bool {
+		g := NewGraph()
+		for i, it := range items {
+			if i >= 20 {
+				break
+			}
+			s := NewIRI(fmt.Sprintf("http://ex.org/s%s", sanitize(it.Value)))
+			p := NewIRI(fmt.Sprintf("http://ex.org/p%d", int(seed)%5))
+			g.Add(T(s, p, it.term()))
+		}
+		var buf bytes.Buffer
+		if err := WriteTurtle(&buf, g, TurtleWriterOptions{}); err != nil {
+			return false
+		}
+		g2, err := ReadTurtle(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.Len() != g.Len() {
+			return false
+		}
+		for _, tr := range g.Triples() {
+			if !g2.Has(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// errWriter fails after n bytes, for failure-injection tests.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("injected write failure")
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, fmt.Errorf("injected write failure")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteTurtleWriterFailure(t *testing.T) {
+	g := sampleGraph(t)
+	if err := WriteTurtle(&errWriter{n: 10}, g, TurtleWriterOptions{}); err == nil {
+		t.Error("write failure not propagated")
+	}
+}
+
+func TestWriteNTriplesWriterFailure(t *testing.T) {
+	g := sampleGraph(t)
+	if err := WriteNTriples(&errWriter{n: 10}, g); err == nil {
+		t.Error("write failure not propagated")
+	}
+}

@@ -1,0 +1,92 @@
+package segment
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// NGramSplitter produces the overlapping rune n-grams of a value, the
+// paper's alternative to separator splitting (its related work also uses
+// bi-grams for indexing). Non-alphanumeric runes are first collapsed to a
+// single space and the value trimmed, so "CRCW-0805" and "CRCW 0805"
+// yield the same grams.
+type NGramSplitter struct {
+	n    int
+	pad  bool
+	opts Options
+}
+
+// NewNGramSplitter returns an n-gram splitter; n must be >= 1. With pad
+// set, the value is padded with n-1 leading and trailing '#' runes so
+// prefixes and suffixes form their own grams (the convention of q-gram
+// blocking literature).
+func NewNGramSplitter(n int, pad bool, opts Options) *NGramSplitter {
+	if n < 1 {
+		n = 1
+	}
+	return &NGramSplitter{n: n, pad: pad, opts: opts}
+}
+
+// N returns the gram size.
+func (s *NGramSplitter) N() int { return s.n }
+
+// Split implements Splitter.
+func (s *NGramSplitter) Split(value string) []string {
+	cleaned := collapseSeparators(value)
+	if cleaned == "" {
+		return nil
+	}
+	runes := []rune(cleaned)
+	if s.pad {
+		padRunes := make([]rune, 0, len(runes)+2*(s.n-1))
+		for i := 0; i < s.n-1; i++ {
+			padRunes = append(padRunes, '#')
+		}
+		padRunes = append(padRunes, runes...)
+		for i := 0; i < s.n-1; i++ {
+			padRunes = append(padRunes, '#')
+		}
+		runes = padRunes
+	}
+	if len(runes) < s.n {
+		if seg, ok := s.opts.normalize(string(runes)); ok {
+			return []string{seg}
+		}
+		return nil
+	}
+	out := make([]string, 0, len(runes)-s.n+1)
+	for i := 0; i+s.n <= len(runes); i++ {
+		if seg, ok := s.opts.normalize(string(runes[i : i+s.n])); ok {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+// Name implements Splitter.
+func (s *NGramSplitter) Name() string {
+	if s.pad {
+		return fmt.Sprintf("%d-grams(padded)", s.n) + s.opts.suffix()
+	}
+	return fmt.Sprintf("%d-grams", s.n) + s.opts.suffix()
+}
+
+// collapseSeparators maps runs of non-alphanumeric runes to one space and
+// trims the ends.
+func collapseSeparators(v string) string {
+	var b strings.Builder
+	lastSep := true // suppress leading space
+	for _, r := range v {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			b.WriteRune(r)
+			lastSep = false
+			continue
+		}
+		if !lastSep {
+			b.WriteByte(' ')
+			lastSep = true
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}

@@ -1,0 +1,106 @@
+package similarity
+
+// LevenshteinDistance returns the minimum number of single-rune
+// insertions, deletions and substitutions transforming a into b.
+func LevenshteinDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Single-row dynamic program; prev is D[i-1][j-1] before overwrite.
+	row := make([]int, len(rb)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		prev := row[0]
+		row[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cur := row[j]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			row[j] = minInt(minInt(row[j]+1, row[j-1]+1), prev+cost)
+			prev = cur
+		}
+	}
+	return row[len(rb)]
+}
+
+// Levenshtein is the edit-distance similarity 1 - d/max(|a|,|b|).
+type Levenshtein struct{}
+
+// Similarity implements Measure.
+func (Levenshtein) Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	den := maxInt(la, lb)
+	if den == 0 {
+		return 1
+	}
+	return 1 - float64(LevenshteinDistance(a, b))/float64(den)
+}
+
+// Name implements Measure.
+func (Levenshtein) Name() string { return "levenshtein" }
+
+// DamerauDistance returns the optimal-string-alignment distance: like
+// Levenshtein but also counting the transposition of two adjacent runes
+// as one operation.
+func DamerauDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: two back, one back, current.
+	prev2 := make([]int, lb+1)
+	prev1 := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev1[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(minInt(prev1[j]+1, cur[j-1]+1), prev1[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				cur[j] = minInt(cur[j], prev2[j-2]+1)
+			}
+		}
+		prev2, prev1, cur = prev1, cur, prev2
+	}
+	return prev1[lb]
+}
+
+// Damerau is the transposition-aware edit similarity.
+type Damerau struct{}
+
+// Similarity implements Measure.
+func (Damerau) Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	la, lb := len([]rune(a)), len([]rune(b))
+	den := maxInt(la, lb)
+	if den == 0 {
+		return 1
+	}
+	return 1 - float64(DamerauDistance(a, b))/float64(den)
+}
+
+// Name implements Measure.
+func (Damerau) Name() string { return "damerau" }

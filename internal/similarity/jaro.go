@@ -1,0 +1,103 @@
+package similarity
+
+// Jaro is the Jaro similarity, designed for short strings such as names
+// and identifiers (Jaro 1989, used in census record linkage).
+type Jaro struct{}
+
+// Similarity implements Measure.
+func (Jaro) Similarity(a, b string) float64 { return jaro([]rune(a), []rune(b)) }
+
+// Name implements Measure.
+func (Jaro) Name() string { return "jaro" }
+
+func jaro(ra, rb []rune) float64 {
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between the matched subsequences.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for strings sharing a common prefix,
+// the standard tuning for identifiers (Winkler 1990).
+type JaroWinkler struct {
+	// PrefixScale is the boost per shared prefix rune; 0 means the
+	// conventional 0.1. Values above 0.25 are clamped to 0.25 so the
+	// result stays within [0, 1].
+	PrefixScale float64
+	// MaxPrefix is the longest prefix considered; 0 means the
+	// conventional 4.
+	MaxPrefix int
+}
+
+// Similarity implements Measure.
+func (jw JaroWinkler) Similarity(a, b string) float64 {
+	scale := jw.PrefixScale
+	if scale == 0 {
+		scale = 0.1
+	}
+	if scale > 0.25 {
+		scale = 0.25
+	}
+	maxPrefix := jw.MaxPrefix
+	if maxPrefix == 0 {
+		maxPrefix = 4
+	}
+	ra, rb := []rune(a), []rune(b)
+	base := jaro(ra, rb)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < maxPrefix && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	boost := float64(prefix) * scale
+	if boost > 1 {
+		boost = 1
+	}
+	return base + boost*(1-base)
+}
+
+// Name implements Measure.
+func (JaroWinkler) Name() string { return "jaro-winkler" }

@@ -1,0 +1,76 @@
+// Package similarity provides the string similarity measures the linking
+// step uses to compare data item descriptions inside a linking (sub)space.
+// All measures are normalized to [0, 1] where 1 means identical, and all
+// are safe for concurrent use after construction.
+//
+// The paper does not prescribe a matcher — its contribution is reducing
+// the space the matcher runs on — so this package supplies the standard
+// record-linkage toolbox: edit-distance family, Jaro family, token/q-gram
+// set measures, a corpus-weighted TF-IDF cosine, and the Monge-Elkan
+// hybrid.
+package similarity
+
+import "strings"
+
+// Measure scores the similarity of two strings in [0, 1].
+type Measure interface {
+	// Similarity returns 1 for identical inputs and approaches 0 as they
+	// diverge.
+	Similarity(a, b string) float64
+	// Name identifies the measure, for reports and configuration.
+	Name() string
+}
+
+// Func adapts a plain function to the Measure interface.
+type Func struct {
+	F  func(a, b string) float64
+	ID string
+}
+
+// Similarity implements Measure.
+func (f Func) Similarity(a, b string) float64 { return f.F(a, b) }
+
+// Name implements Measure.
+func (f Func) Name() string { return f.ID }
+
+// Exact scores 1 for byte-identical strings and 0 otherwise.
+type Exact struct{}
+
+// Similarity implements Measure.
+func (Exact) Similarity(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Measure.
+func (Exact) Name() string { return "exact" }
+
+// ExactFold scores 1 for case-insensitively equal strings, 0 otherwise.
+type ExactFold struct{}
+
+// Similarity implements Measure.
+func (ExactFold) Similarity(a, b string) float64 {
+	if strings.EqualFold(a, b) {
+		return 1
+	}
+	return 0
+}
+
+// Name implements Measure.
+func (ExactFold) Name() string { return "exact-fold" }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,291 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestLevenshteinDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"abc", "abc", 0},
+		{"ab", "ba", 2},
+		{"résumé", "resume", 2},
+	}
+	for _, tc := range tests {
+		if got := LevenshteinDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("LevenshteinDistance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDamerauDistance(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"ab", "ba", 1}, // one transposition instead of two edits
+		{"ca", "abc", 3},
+		{"abcdef", "abcdfe", 1},
+		{"", "x", 1},
+		{"same", "same", 0},
+	}
+	for _, tc := range tests {
+		if got := DamerauDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("DamerauDistance(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9444444444444445},
+		{"DIXON", "DICKSONX", 0.7666666666666666},
+		{"JELLYFISH", "SMELLYFISH", 0.8962962962962964},
+		{"", "", 1},
+		{"a", "", 0},
+		{"abc", "abc", 1},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range tests {
+		if got := (Jaro{}).Similarity(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("Jaro(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnownValues(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"MARTHA", "MARHTA", 0.9611111111111111},
+		{"DIXON", "DICKSONX", 0.8133333333333332},
+		{"identical", "identical", 1},
+	}
+	for _, tc := range tests {
+		if got := (JaroWinkler{}).Similarity(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("JaroWinkler(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	// Prefix boost must help the shared-prefix pair more.
+	base := (Jaro{}).Similarity("CRCW0805", "CRCW0812")
+	boosted := (JaroWinkler{}).Similarity("CRCW0805", "CRCW0812")
+	if boosted <= base {
+		t.Errorf("JaroWinkler %v not above Jaro %v for shared prefix", boosted, base)
+	}
+	// Clamping: absurd scale must not push the score above 1.
+	jw := JaroWinkler{PrefixScale: 0.9, MaxPrefix: 10}
+	if got := jw.Similarity("prefix-aaaa", "prefix-bbbb"); got > 1 {
+		t.Errorf("clamped JaroWinkler = %v > 1", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Fixed-Film Resistor, 63V!")
+	want := []string{"fixed", "film", "resistor", "63v"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+	if got := Tokenize("...---..."); len(got) != 0 {
+		t.Errorf("Tokenize(punct) = %v", got)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"a b c", "b c d", 0.5},
+		{"same tokens", "tokens same", 1},
+		{"", "", 1},
+		{"x", "", 0},
+		{"abc", "xyz", 0},
+	}
+	for _, tc := range tests {
+		if got := (Jaccard{}).Similarity(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("Jaccard(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDiceAndOverlap(t *testing.T) {
+	// "night" vs "nacht" classic: padded bigram sets share #n, ht, t#.
+	d := (Dice{}).Similarity("night", "nacht")
+	if d <= 0 || d >= 1 {
+		t.Errorf("Dice(night,nacht) = %v, want in (0,1)", d)
+	}
+	if got := (Dice{}).Similarity("same", "same"); !almostEqual(got, 1) {
+		t.Errorf("Dice identity = %v", got)
+	}
+	if got := (QGramOverlap{}).Similarity("same", "same"); !almostEqual(got, 1) {
+		t.Errorf("Overlap identity = %v", got)
+	}
+	// Overlap >= Dice always (min denominator <= average denominator).
+	pairs := [][2]string{{"night", "nacht"}, {"abc", "abcdef"}, {"CRCW0805", "CRCW0812"}}
+	for _, p := range pairs {
+		dd := (Dice{}).Similarity(p[0], p[1])
+		oo := (QGramOverlap{}).Similarity(p[0], p[1])
+		if oo < dd-1e-12 {
+			t.Errorf("Overlap(%q,%q)=%v < Dice=%v", p[0], p[1], oo, dd)
+		}
+	}
+	if got := (Dice{Q: 3}).Name(); got != "dice(q=3)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestQGrams(t *testing.T) {
+	got := QGrams("ab", 2)
+	want := []string{"#a", "ab", "b#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("QGrams = %v, want %v", got, want)
+	}
+	if got := QGrams("", 2); len(got) != 0 {
+		t.Errorf("QGrams empty = %v", got)
+	}
+	if got := QGrams("AB", 2); !reflect.DeepEqual(got, want) {
+		t.Errorf("QGrams not case-folded: %v", got)
+	}
+}
+
+func TestMongeElkan(t *testing.T) {
+	me := MongeElkan{}
+	if got := me.Similarity("Paris France", "France Paris"); !almostEqual(got, 1) {
+		t.Errorf("MongeElkan permutation = %v, want 1", got)
+	}
+	a := me.Similarity("Fixed Film Resistor", "Fixed-Film Resistance")
+	b := me.Similarity("Fixed Film Resistor", "Tantalum Capacitor")
+	if a <= b {
+		t.Errorf("MongeElkan ranking wrong: related %v <= unrelated %v", a, b)
+	}
+	if got := me.Similarity("", ""); !almostEqual(got, 1) {
+		t.Errorf("MongeElkan empty = %v", got)
+	}
+	if got := me.Similarity("x", ""); !almostEqual(got, 0) {
+		t.Errorf("MongeElkan one-empty = %v", got)
+	}
+	if got := me.Name(); got != "monge-elkan(jaro-winkler)" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	m := NewTFIDF()
+	if m.Fitted() {
+		t.Error("fresh TFIDF reports fitted")
+	}
+	corpus := []string{
+		"acme resistor 10k",
+		"acme resistor 22k",
+		"acme capacitor 100uF",
+		"acme diode signal",
+	}
+	m.Fit(corpus)
+	if !m.Fitted() {
+		t.Error("TFIDF not fitted after Fit")
+	}
+	// Sharing only the ubiquitous token "acme" must score lower than
+	// sharing the rare token "capacitor".
+	generic := m.Similarity("acme resistor 10k", "acme capacitor 100uF")
+	rare := m.Similarity("acme capacitor 100uF", "big capacitor 100uF")
+	if generic >= rare {
+		t.Errorf("TFIDF: generic-token pair %v >= rare-token pair %v", generic, rare)
+	}
+	if got := m.Similarity("acme resistor 10k", "acme resistor 10k"); !almostEqual(got, 1) {
+		t.Errorf("TFIDF identity = %v", got)
+	}
+	if got := m.Similarity("", "x"); got != 0 {
+		t.Errorf("TFIDF empty vs non-empty = %v", got)
+	}
+	if got := m.Similarity("", ""); got != 1 {
+		t.Errorf("TFIDF both empty = %v", got)
+	}
+}
+
+func TestExactMeasures(t *testing.T) {
+	if (Exact{}).Similarity("a", "a") != 1 || (Exact{}).Similarity("a", "A") != 0 {
+		t.Error("Exact misbehaves")
+	}
+	if (ExactFold{}).Similarity("a", "A") != 1 || (ExactFold{}).Similarity("a", "b") != 0 {
+		t.Error("ExactFold misbehaves")
+	}
+	f := Func{F: func(a, b string) float64 { return 0.5 }, ID: "half"}
+	if f.Similarity("x", "y") != 0.5 || f.Name() != "half" {
+		t.Error("Func adapter misbehaves")
+	}
+}
+
+// allMeasures lists every Measure with default configuration.
+func allMeasures() []Measure {
+	tf := NewTFIDF()
+	tf.Fit([]string{"alpha beta", "gamma delta", "alpha gamma"})
+	return []Measure{
+		Exact{}, ExactFold{}, Levenshtein{}, Damerau{}, Jaro{},
+		JaroWinkler{}, Jaccard{}, Dice{}, QGramOverlap{}, MongeElkan{}, tf,
+	}
+}
+
+// Property: every measure is symmetric, bounded to [0,1], and scores 1 on
+// identical strings.
+func TestMeasureProperties(t *testing.T) {
+	measures := allMeasures()
+	f := func(a, b string) bool {
+		for _, m := range measures {
+			sab := m.Similarity(a, b)
+			sba := m.Similarity(b, a)
+			if math.Abs(sab-sba) > 1e-9 {
+				return false
+			}
+			if sab < 0 || sab > 1+1e-9 {
+				return false
+			}
+			if m.Similarity(a, a) != 1 {
+				// TFIDF of a string with no tokens vs itself is 1 by the
+				// both-empty rule; everything else must self-score 1 too.
+				if s := m.Similarity(a, a); math.Abs(s-1) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Levenshtein distance obeys the triangle inequality and
+// Damerau distance never exceeds Levenshtein.
+func TestEditDistanceProperties(t *testing.T) {
+	f := func(a, b, c string) bool {
+		ab := LevenshteinDistance(a, b)
+		bc := LevenshteinDistance(b, c)
+		ac := LevenshteinDistance(a, c)
+		if ac > ab+bc {
+			return false
+		}
+		return DamerauDistance(a, b) <= ab
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

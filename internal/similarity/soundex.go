@@ -1,0 +1,125 @@
+package similarity
+
+import "strings"
+
+// SoundexCode returns the American Soundex code of s (letter + three
+// digits, e.g. "Robert" → "R163"). Non-ASCII-letter runes are ignored;
+// an input with no letters encodes to "0000".
+func SoundexCode(s string) string {
+	const codes = "01230120022455012623010202" // a..z
+	var first byte
+	var out []byte
+	var prev byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z':
+			c -= 'a' - 'A'
+		case c >= 'A' && c <= 'Z':
+		default:
+			// Non-letters reset nothing but also do not separate codes in
+			// classic Soundex; vowels handle separation below.
+			continue
+		}
+		code := codes[c-'A']
+		if first == 0 {
+			first = c
+			prev = code
+			continue
+		}
+		// 'H' and 'W' are transparent: they do not break runs of the
+		// same code; vowels do.
+		if c == 'H' || c == 'W' {
+			continue
+		}
+		if code == '0' {
+			prev = '0'
+			continue
+		}
+		if code != prev {
+			out = append(out, code)
+			prev = code
+		}
+		if len(out) == 3 {
+			break
+		}
+	}
+	if first == 0 {
+		return "0000"
+	}
+	for len(out) < 3 {
+		out = append(out, '0')
+	}
+	return string(first) + string(out)
+}
+
+// Soundex scores 1 when both strings share a Soundex code and 0
+// otherwise — the blocking-key measure of classic census record linkage.
+// Multi-token strings compare token-wise: the fraction of tokens of the
+// shorter string whose code appears among the other's token codes.
+type Soundex struct{}
+
+// Similarity implements Measure.
+func (Soundex) Similarity(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	if len(ta) > len(tb) {
+		ta, tb = tb, ta
+	}
+	codesB := make(map[string]struct{}, len(tb))
+	for _, tok := range tb {
+		codesB[SoundexCode(tok)] = struct{}{}
+	}
+	hits := 0
+	for _, tok := range ta {
+		if _, ok := codesB[SoundexCode(tok)]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(ta))
+}
+
+// Name implements Measure.
+func (Soundex) Name() string { return "soundex" }
+
+// LongestCommonSubstring is the normalized length of the longest common
+// substring: LCS / max(|a|,|b|), computed over lower-cased runes. Useful
+// for identifiers sharing a long series prefix or infix.
+type LongestCommonSubstring struct{}
+
+// Similarity implements Measure.
+func (LongestCommonSubstring) Similarity(a, b string) float64 {
+	ra := []rune(strings.ToLower(a))
+	rb := []rune(strings.ToLower(b))
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	best := 0
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return float64(best) / float64(maxInt(len(ra), len(rb)))
+}
+
+// Name implements Measure.
+func (LongestCommonSubstring) Name() string { return "lcs" }

@@ -1,0 +1,75 @@
+package similarity
+
+import "testing"
+
+func TestSoundexCodeKnownValues(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Rubin", "R150"},
+		{"Ashcraft", "A261"}, // 'h' transparent between s and c
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"", "0000"},
+		{"123", "0000"},
+		{"a", "A000"},
+		{"résumé", "R250"}, // non-ASCII runes skipped
+	}
+	for _, tc := range tests {
+		if got := SoundexCode(tc.in); got != tc.want {
+			t.Errorf("SoundexCode(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSoundexMeasure(t *testing.T) {
+	m := Soundex{}
+	if got := m.Similarity("Robert", "Rupert"); got != 1 {
+		t.Errorf("Similarity(Robert,Rupert) = %v, want 1", got)
+	}
+	if got := m.Similarity("Robert", "Zebra"); got != 0 {
+		t.Errorf("Similarity(Robert,Zebra) = %v, want 0", got)
+	}
+	// Token-wise: one of two tokens matches.
+	if got := m.Similarity("Robert Smith", "Rupert Jones"); got != 0.5 {
+		t.Errorf("token-wise = %v, want 0.5", got)
+	}
+	if got := m.Similarity("", ""); got != 1 {
+		t.Errorf("both empty = %v", got)
+	}
+	if got := m.Similarity("x", ""); got != 0 {
+		t.Errorf("one empty = %v", got)
+	}
+	if m.Name() != "soundex" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	m := LongestCommonSubstring{}
+	tests := []struct {
+		a, b string
+		want float64
+	}{
+		{"CRCW0805X", "CRCW0805Y", 8.0 / 9.0},
+		{"same", "same", 1},
+		{"SAME", "same", 1}, // case-folded
+		{"abc", "xyz", 0},
+		{"", "", 1},
+		{"a", "", 0},
+		{"xabcy", "zabcw", 3.0 / 5.0},
+	}
+	for _, tc := range tests {
+		if got := m.Similarity(tc.a, tc.b); !almostEqual(got, tc.want) {
+			t.Errorf("LCS(%q,%q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if m.Name() != "lcs" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}

@@ -1,0 +1,98 @@
+package similarity
+
+import (
+	"math"
+)
+
+// TFIDF is a corpus-weighted cosine similarity over tokens: rare tokens
+// (high inverse document frequency) dominate the score, so shared generic
+// tokens ("the", a manufacturer name present everywhere) contribute
+// little. Fit must be called with the document corpus before scoring;
+// Similarity on an unfitted measure falls back to unweighted cosine.
+type TFIDF struct {
+	idf  map[string]float64
+	docs int
+}
+
+// NewTFIDF returns an unfitted measure.
+func NewTFIDF() *TFIDF { return &TFIDF{} }
+
+// Fit builds the IDF table from the corpus; each string is one document.
+// Fit replaces any previous fit. The measure must not be used
+// concurrently with Fit.
+func (m *TFIDF) Fit(corpus []string) {
+	m.docs = len(corpus)
+	df := map[string]int{}
+	for _, doc := range corpus {
+		for tok := range tokenSet(doc) {
+			df[tok]++
+		}
+	}
+	m.idf = make(map[string]float64, len(df))
+	for tok, n := range df {
+		// Smoothed IDF keeps weights positive even for ubiquitous tokens.
+		m.idf[tok] = math.Log(1 + float64(m.docs)/float64(n))
+	}
+}
+
+// Fitted reports whether Fit has been called.
+func (m *TFIDF) Fitted() bool { return m.idf != nil }
+
+// weight returns the IDF of tok; unseen tokens get the maximum possible
+// weight (they are rarer than anything in the corpus).
+func (m *TFIDF) weight(tok string) float64 {
+	if m.idf == nil {
+		return 1
+	}
+	if w, ok := m.idf[tok]; ok {
+		return w
+	}
+	return math.Log(1 + float64(m.docs+1))
+}
+
+// Similarity implements Measure.
+func (m *TFIDF) Similarity(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	va := m.vector(ta)
+	vb := m.vector(tb)
+	dot := 0.0
+	for tok, wa := range va {
+		if wb, ok := vb[tok]; ok {
+			dot += wa * wb
+		}
+	}
+	na, nb := norm(va), norm(vb)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (na * nb)
+}
+
+// vector builds the TF·IDF vector of a token multiset.
+func (m *TFIDF) vector(tokens []string) map[string]float64 {
+	tf := map[string]float64{}
+	for _, tok := range tokens {
+		tf[tok]++
+	}
+	for tok, f := range tf {
+		tf[tok] = f * m.weight(tok)
+	}
+	return tf
+}
+
+func norm(v map[string]float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Name implements Measure.
+func (m *TFIDF) Name() string { return "tfidf-cosine" }

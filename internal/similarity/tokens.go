@@ -1,0 +1,220 @@
+package similarity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits a string into lower-cased alphanumeric tokens; the
+// shared tokenizer of the token-set measures below.
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	lower := strings.ToLower(s)
+	for i, r := range lower {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = append(out, lower[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = append(out, lower[start:])
+	}
+	return out
+}
+
+func tokenSet(s string) map[string]struct{} {
+	set := map[string]struct{}{}
+	for _, tok := range Tokenize(s) {
+		set[tok] = struct{}{}
+	}
+	return set
+}
+
+// Jaccard is the token-set Jaccard coefficient |A∩B| / |A∪B|.
+type Jaccard struct{}
+
+// Similarity implements Measure.
+func (Jaccard) Similarity(a, b string) float64 {
+	sa, sb := tokenSet(a), tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := 0
+	for tok := range sa {
+		if _, ok := sb[tok]; ok {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Name implements Measure.
+func (Jaccard) Name() string { return "jaccard" }
+
+// Dice is the q-gram Sørensen-Dice coefficient 2|A∩B| / (|A|+|B|) over
+// padded character q-grams.
+type Dice struct {
+	// Q is the gram size; 0 means 2 (bi-grams, as in the paper's related
+	// work).
+	Q int
+}
+
+// Similarity implements Measure.
+func (d Dice) Similarity(a, b string) float64 {
+	q := d.Q
+	if q == 0 {
+		q = 2
+	}
+	ga, gb := qgramSet(a, q), qgramSet(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if _, ok := gb[g]; ok {
+			inter++
+		}
+	}
+	return 2 * float64(inter) / float64(len(ga)+len(gb))
+}
+
+// Name implements Measure.
+func (d Dice) Name() string {
+	q := d.Q
+	if q == 0 {
+		q = 2
+	}
+	return fmt.Sprintf("dice(q=%d)", q)
+}
+
+// QGramOverlap is the q-gram overlap coefficient |A∩B| / min(|A|,|B|).
+type QGramOverlap struct {
+	// Q is the gram size; 0 means 2.
+	Q int
+}
+
+// Similarity implements Measure.
+func (o QGramOverlap) Similarity(a, b string) float64 {
+	q := o.Q
+	if q == 0 {
+		q = 2
+	}
+	ga, gb := qgramSet(a, q), qgramSet(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ga {
+		if _, ok := gb[g]; ok {
+			inter++
+		}
+	}
+	return float64(inter) / float64(minInt(len(ga), len(gb)))
+}
+
+// Name implements Measure.
+func (o QGramOverlap) Name() string {
+	q := o.Q
+	if q == 0 {
+		q = 2
+	}
+	return fmt.Sprintf("qgram-overlap(q=%d)", q)
+}
+
+// qgramSet returns the set of padded lower-case q-grams of s.
+func qgramSet(s string, q int) map[string]struct{} {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return nil
+	}
+	runes := make([]rune, 0, len(s)+2*(q-1))
+	for i := 0; i < q-1; i++ {
+		runes = append(runes, '#')
+	}
+	runes = append(runes, []rune(s)...)
+	for i := 0; i < q-1; i++ {
+		runes = append(runes, '#')
+	}
+	set := map[string]struct{}{}
+	for i := 0; i+q <= len(runes); i++ {
+		set[string(runes[i:i+q])] = struct{}{}
+	}
+	return set
+}
+
+// QGrams returns the sorted padded q-grams of s; exported for the
+// bi-gram blocking baseline which indexes them.
+func QGrams(s string, q int) []string {
+	set := qgramSet(s, q)
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MongeElkan is the asymmetric-made-symmetric Monge-Elkan hybrid: each
+// token of one string is matched to its best-scoring token of the other
+// under an inner measure, and the two directions are averaged.
+type MongeElkan struct {
+	// Inner scores token pairs; nil means JaroWinkler{}.
+	Inner Measure
+}
+
+// Similarity implements Measure.
+func (me MongeElkan) Similarity(a, b string) float64 {
+	inner := me.Inner
+	if inner == nil {
+		inner = JaroWinkler{}
+	}
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	dir := func(xs, ys []string) float64 {
+		sum := 0.0
+		for _, x := range xs {
+			best := 0.0
+			for _, y := range ys {
+				if s := inner.Similarity(x, y); s > best {
+					best = s
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(xs))
+	}
+	return (dir(ta, tb) + dir(tb, ta)) / 2
+}
+
+// Name implements Measure.
+func (me MongeElkan) Name() string {
+	inner := me.Inner
+	if inner == nil {
+		inner = JaroWinkler{}
+	}
+	return "monge-elkan(" + inner.Name() + ")"
+}

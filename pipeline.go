@@ -1,0 +1,106 @@
+package datalink
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linkage"
+	"repro/internal/similarity"
+)
+
+// Measure scores string similarity in [0, 1].
+type Measure = similarity.Measure
+
+// Comparator compares one external property against one local property
+// under a similarity measure, with a weight.
+type Comparator = linkage.Comparator
+
+// LinkerConfig configures the in-space matcher.
+type LinkerConfig = linkage.Config
+
+// Match is a declared same-as link with its score.
+type Match = linkage.Match
+
+// LinkResult is the confusion summary of declared links vs ground truth.
+type LinkResult = linkage.Result
+
+// Similarity measure constructors commonly used by linkers.
+var (
+	// Levenshtein is normalized edit-distance similarity.
+	Levenshtein Measure = similarity.Levenshtein{}
+	// JaroWinkler is prefix-boosted Jaro similarity.
+	JaroWinkler Measure = similarity.JaroWinkler{}
+	// Jaccard is token-set Jaccard similarity.
+	Jaccard Measure = similarity.Jaccard{}
+	// MongeElkan is the token-level hybrid with Jaro-Winkler inside.
+	MongeElkan Measure = similarity.MongeElkan{}
+)
+
+// EvaluateLinks scores declared matches against truth links.
+func EvaluateLinks(found []Match, truth []Link) LinkResult {
+	return linkage.Evaluate(found, truth)
+}
+
+// Pipeline wires the full flow of the paper: learn rules from TS, then
+// for each new external item predict classes, build the reduced linking
+// space, and (optionally) run a matcher inside it.
+type Pipeline struct {
+	Model      *Model
+	Classifier *Classifier
+	Instances  *InstanceIndex
+
+	se *Graph
+	sl *Graph
+}
+
+// NewPipeline learns a model and prepares the classifier and instance
+// index.
+func NewPipeline(cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology) (*Pipeline, error) {
+	m, err := Learn(cfg, ts, se, sl, ol)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		Model:      m,
+		Classifier: NewClassifier(&m.Rules, m.Config.Splitter),
+		Instances:  NewInstanceIndex(sl, ol),
+		se:         se,
+		sl:         sl,
+	}, nil
+}
+
+// Classify predicts the classes of an external item described in the
+// pipeline's external graph.
+func (p *Pipeline) Classify(item Term) []Prediction {
+	return p.Classifier.Classify(item, p.se)
+}
+
+// ReducedSpace computes the item's linking subspaces from its
+// predictions.
+func (p *Pipeline) ReducedSpace(item Term) SpaceReport {
+	return Space(item, p.Classify(item), p.Instances)
+}
+
+// LinkWithin runs the matcher over each item's reduced space and returns
+// the best match per item at or above the configured threshold.
+func (p *Pipeline) LinkWithin(items []Term, cfg LinkerConfig) ([]Match, error) {
+	eng, err := linkage.New(cfg, p.se, p.sl)
+	if err != nil {
+		return nil, fmt.Errorf("datalink: building linker: %w", err)
+	}
+	cands := map[Term][]Term{}
+	for _, item := range items {
+		sr := p.ReducedSpace(item)
+		pairs := core.CandidatePairs(sr, p.Instances)
+		for _, pr := range pairs {
+			cands[item] = append(cands[item], pr[1])
+		}
+	}
+	return eng.LinkBest(cands), nil
+}
+
+// Generalize applies the subsumption extension to the pipeline's model
+// and returns a new rule set (the pipeline itself is unchanged).
+func (p *Pipeline) Generalize(ol *Ontology, opts GeneralizeOptions) RuleSet {
+	return p.Model.Generalize(ol, opts)
+}
