@@ -3,10 +3,12 @@ package datalink
 import (
 	"bytes"
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
 	"repro/internal/blocking"
+	"repro/internal/linkage"
 	"repro/internal/rdf"
 	"repro/internal/segment"
 	"repro/internal/similarity"
@@ -257,8 +259,177 @@ func BenchmarkNTriplesRoundTrip(b *testing.B) {
 	}
 }
 
+// --- linkage engine benchmarks (tentpole of the parallel value-indexed
+// engine): the legacy per-pair graph-lookup path vs the indexed engine,
+// serial and parallel. ---
+
+// linkageBenchFixture builds a part-number-shaped workload: two graphs,
+// a candidate pair list and the engine config.
+func linkageBenchFixture(nExt, nLoc, candsPer int) (se, sl *rdf.Graph, pairs [][2]rdf.Term, cfg linkage.Config) {
+	rng := rand.New(rand.NewSource(99))
+	se, sl = rdf.NewGraph(), rdf.NewGraph()
+	pnProp := rdf.NewIRI("http://ex.org/pn")
+	labelProp := rdf.NewIRI("http://ex.org/label")
+	randPN := func() string {
+		return fmt.Sprintf("CRCW%04d-%dV-%c%d", rng.Intn(1000), rng.Intn(64), 'A'+rune(rng.Intn(26)), rng.Intn(10))
+	}
+	ext := make([]rdf.Term, nExt)
+	loc := make([]rdf.Term, nLoc)
+	for i := range ext {
+		ext[i] = rdf.NewIRI(fmt.Sprintf("http://ex.org/e/%d", i))
+		se.Add(rdf.T(ext[i], pnProp, rdf.NewLiteral(randPN())))
+		se.Add(rdf.T(ext[i], labelProp, rdf.NewLiteral("chip resistor "+randPN())))
+	}
+	for i := range loc {
+		loc[i] = rdf.NewIRI(fmt.Sprintf("http://ex.org/l/%d", i))
+		sl.Add(rdf.T(loc[i], pnProp, rdf.NewLiteral(randPN())))
+		sl.Add(rdf.T(loc[i], labelProp, rdf.NewLiteral("resistor chip "+randPN())))
+	}
+	for _, e := range ext {
+		for k := 0; k < candsPer; k++ {
+			pairs = append(pairs, [2]rdf.Term{e, loc[rng.Intn(len(loc))]})
+		}
+	}
+	cfg = linkage.Config{
+		Comparators: []linkage.Comparator{
+			{ExternalProperty: pnProp, LocalProperty: pnProp, Measure: similarity.Levenshtein{}, Weight: 2},
+			{ExternalProperty: labelProp, LocalProperty: labelProp, Measure: similarity.Jaccard{}, Weight: 1},
+		},
+		Threshold: 0.5,
+	}
+	return se, sl, pairs, cfg
+}
+
+// legacyScorePairs replicates the pre-index engine: every comparator of
+// every pair walks the graphs via Objects and re-runs the raw measure.
+func legacyScorePairs(cfg linkage.Config, se, sl *rdf.Graph, pairs [][2]rdf.Term) int {
+	literalValues := func(g *rdf.Graph, item, prop rdf.Term) []string {
+		var out []string
+		for _, o := range g.Objects(item, prop) {
+			if o.IsLiteral() {
+				out = append(out, o.Value)
+			}
+		}
+		return out
+	}
+	kept := 0
+	for _, p := range pairs {
+		num, den := 0.0, 0.0
+		for _, cmp := range cfg.Comparators {
+			den += cmp.Weight
+			best := 0.0
+			for _, ev := range literalValues(se, p[0], cmp.ExternalProperty) {
+				for _, lv := range literalValues(sl, p[1], cmp.LocalProperty) {
+					if s := cmp.Measure.Similarity(ev, lv); s > best {
+						best = s
+					}
+				}
+			}
+			num += cmp.Weight * best
+		}
+		if num/den >= cfg.Threshold {
+			kept++
+		}
+	}
+	return kept
+}
+
+// BenchmarkScorePairsGraphLookup is the old hot path: graph lookups and
+// raw measure calls per pair. The allocs/op column is the point.
+func BenchmarkScorePairsGraphLookup(b *testing.B) {
+	se, sl, pairs, cfg := linkageBenchFixture(500, 500, 8)
+	b.SetBytes(int64(len(pairs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if legacyScorePairs(cfg, se, sl, pairs) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkScorePairsSerial is the value-indexed engine on one worker:
+// zero graph lookups and near-zero allocations inside Score.
+func BenchmarkScorePairsSerial(b *testing.B) {
+	se, sl, pairs, cfg := linkageBenchFixture(500, 500, 8)
+	cfg.Workers = 1
+	eng, err := linkage.New(cfg, se, sl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pairs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(eng.ScorePairs(pairs)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkScorePairsParallel is the same engine fanned out across all
+// cores (Workers=0).
+func BenchmarkScorePairsParallel(b *testing.B) {
+	se, sl, pairs, cfg := linkageBenchFixture(500, 500, 8)
+	eng, err := linkage.New(cfg, se, sl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pairs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(eng.ScorePairs(pairs)) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkLinkBestParallel exercises the one-to-one greedy linker on
+// the same fixture.
+func BenchmarkLinkBestParallel(b *testing.B) {
+	se, sl, pairs, cfg := linkageBenchFixture(500, 500, 8)
+	cands := map[rdf.Term][]rdf.Term{}
+	for _, p := range pairs {
+		cands[p[0]] = append(cands[p[0]], p[1])
+	}
+	eng, err := linkage.New(cfg, se, sl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(pairs)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(eng.LinkBest(cands)) == 0 {
+			b.Fatal("no links")
+		}
+	}
+}
+
 func BenchmarkLevenshtein(b *testing.B) {
 	m := similarity.Levenshtein{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarity("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+// BenchmarkLevenshteinUnicode hits the rune path (multi-byte input), the
+// slow branch the ASCII fast path avoids.
+func BenchmarkLevenshteinUnicode(b *testing.B) {
+	m := similarity.Levenshtein{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Similarity("CRCW0805-63V-Ω", "CRCW0812/63V/Ω")
+	}
+}
+
+func BenchmarkDamerau(b *testing.B) {
+	m := similarity.Damerau{}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Similarity("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")

@@ -62,6 +62,8 @@ func main() {
 		err = cmdGeneralize(args)
 	case "holdout":
 		err = cmdHoldout(args)
+	case "link":
+		err = cmdLink(args)
 	case "rules":
 		err = cmdRules(args)
 	case "keys":
@@ -106,6 +108,7 @@ experiments (see DESIGN.md for the experiment index):
   ordering    rule-ordering ablation                (E5c)
   generalize  subsumption generalization            (E6)
   holdout     k-fold held-out evaluation            (E7)
+  link        in-space linking, serial vs parallel  (E8)
   rules       inspect top rules with expert evidence
   keys        discover (almost-)key constraints in the catalog
   toponyms    secondary-domain demo
@@ -336,6 +339,36 @@ func cmdHoldout(args []string) error {
 		return err
 	}
 	return datalink.HoldoutTable(s).Render(os.Stdout)
+}
+
+func cmdLink(args []string) error {
+	fs := flag.NewFlagSet("link", flag.ContinueOnError)
+	cf := addCorpusFlags(fs)
+	workers := fs.Int("workers", 0, "run a single worker count instead of the 1,2,4,... ladder")
+	linkTh := fs.Float64("link-threshold", 0, "override the match threshold (0 = default)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *workers < 0 {
+		return fmt.Errorf("negative worker count %d", *workers)
+	}
+	c, err := cf.buildCorpus()
+	if err != nil {
+		return err
+	}
+	cfg := datalink.DefaultLinkingConfig()
+	if *linkTh > 0 {
+		cfg.Threshold = *linkTh
+	}
+	counts := datalink.LinkingWorkerCounts()
+	if *workers > 0 {
+		counts = []int{*workers}
+	}
+	rows, err := datalink.LinkingExperiment(c, cfg, counts)
+	if err != nil {
+		return err
+	}
+	return datalink.LinkingExperimentTable(rows).Render(os.Stdout)
 }
 
 func cmdRules(args []string) error {
@@ -615,12 +648,17 @@ func cmdExport(args []string) error {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
 	}
+	linkRows, err := datalink.LinkingExperiment(c, datalink.DefaultLinkingConfig(), datalink.LinkingWorkerCounts())
+	if err != nil {
+		return err
+	}
 	tables := map[string]*datalink.ExperimentTable{
 		"stats":      datalink.SectionStatsTable(datalink.SectionStats(c)),
 		"table1":     datalink.Table1Table(datalink.Table1(c, datalink.PaperBands())),
 		"reduction":  datalink.SpaceReductionTable(datalink.SpaceReduction(c, datalink.PaperBands())),
 		"ordering":   datalink.OrderingAblationTable(datalink.OrderingAblation(c)),
 		"generalize": datalink.GeneralizationTable(datalink.GeneralizationExperiment(c)),
+		"link":       datalink.LinkingExperimentTable(linkRows),
 	}
 	for name, tbl := range tables {
 		if err := exportTable(filepath.Join(*out, name), tbl); err != nil {
@@ -681,6 +719,14 @@ func cmdAll(args []string) error {
 	}
 	fmt.Println()
 	if err := datalink.GeneralizationTable(datalink.GeneralizationExperiment(c)).Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	linkRows, err := datalink.LinkingExperiment(c, datalink.DefaultLinkingConfig(), datalink.LinkingWorkerCounts())
+	if err != nil {
+		return err
+	}
+	if err := datalink.LinkingExperimentTable(linkRows).Render(os.Stdout); err != nil {
 		return err
 	}
 	fmt.Println()

@@ -62,6 +62,14 @@ func TestCLIExperimentsSmallScale(t *testing.T) {
 			t.Errorf("output:\n%s", out)
 		}
 	})
+	t.Run("link", func(t *testing.T) {
+		out := run(t, bin, "link", "-scale", "small", "-seed", "7", "-workers", "2")
+		for _, want := range []string{"In-space linking", "workers", "pairs/s"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
 	t.Run("keys", func(t *testing.T) {
 		out := run(t, bin, "keys", "-scale", "small", "-top", "3")
 		if !strings.Contains(out, "key(") {

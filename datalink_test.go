@@ -196,3 +196,63 @@ func TestPublicAPIToponyms(t *testing.T) {
 		t.Errorf("predicted %v, want Museum", preds[0].Class)
 	}
 }
+
+// TestLinkWithinCacheInvalidation pins the engine cache in Pipeline to
+// the pre-cache semantics: items added to the graphs after a LinkWithin
+// call must be visible to the next call (the incremental-linking flow of
+// examples/fusion), and a caller mutating its comparator slice in place
+// must not be served the stale engine.
+func TestLinkWithinCacheInvalidation(t *testing.T) {
+	ts, se, sl, ol, pn := buildTinyWorld(t)
+	p, err := NewPipeline(LearnerConfig{SupportThreshold: 0.1}, ts, se, sl, ol)
+	if err != nil {
+		t.Fatalf("NewPipeline: %v", err)
+	}
+	cmps := []Comparator{{
+		ExternalProperty: pn, LocalProperty: pn,
+		Measure: JaroWinkler, Weight: 1,
+	}}
+	cfg := LinkerConfig{Comparators: cmps, Threshold: 0.3}
+
+	item1 := NewIRI("http://ex.org/ext/inc1")
+	se.Add(T(item1, pn, NewLiteral("XX/ohm/100")))
+	m1, err := p.LinkWithin([]Term{item1}, cfg)
+	if err != nil {
+		t.Fatalf("first LinkWithin: %v", err)
+	}
+	if len(m1) != 1 {
+		t.Fatalf("first call matches = %v", m1)
+	}
+
+	// Second arriving item: added after the engine cache was built.
+	item2 := NewIRI("http://ex.org/ext/inc2")
+	se.Add(T(item2, pn, NewLiteral("YY/ohm/220")))
+	m2, err := p.LinkWithin([]Term{item2}, cfg)
+	if err != nil {
+		t.Fatalf("second LinkWithin: %v", err)
+	}
+	if len(m2) != 1 {
+		t.Fatalf("stale value index: second item not linked, matches = %v", m2)
+	}
+
+	// Unchanged graphs + config: the cache must serve identical output.
+	m2b, err := p.LinkWithin([]Term{item2}, cfg)
+	if err != nil {
+		t.Fatalf("cached LinkWithin: %v", err)
+	}
+	if len(m2b) != len(m2) || m2b[0] != m2[0] {
+		t.Errorf("cached call diverges: %v vs %v", m2b, m2)
+	}
+
+	// In-place mutation of the caller's comparator slice must not be
+	// aliased into the cache's change detection.
+	cmps[0].Measure = Levenshtein
+	cmps[0].Weight = 3
+	m3, err := p.LinkWithin([]Term{item2}, cfg)
+	if err != nil {
+		t.Fatalf("post-mutation LinkWithin: %v", err)
+	}
+	if len(m3) != 1 || m3[0].Score == m2[0].Score {
+		t.Errorf("stale engine after comparator mutation: %v vs %v", m3, m2)
+	}
+}

@@ -38,6 +38,8 @@ type (
 	OrderingRow = eval.OrderingRow
 	// GeneralizationRow is one line of the generalization experiment.
 	GeneralizationRow = eval.GeneralizationRow
+	// LinkingRow is one line of the in-space linking experiment.
+	LinkingRow = eval.LinkingRow
 	// ExperimentTable is a renderable fixed-width text table.
 	ExperimentTable = eval.Table
 )
@@ -136,6 +138,24 @@ func GeneralizationExperiment(c *Corpus) []GeneralizationRow {
 func GeneralizationTable(rows []GeneralizationRow) *ExperimentTable {
 	return eval.GeneralizationTable(rows)
 }
+
+// DefaultLinkingConfig returns the matcher configuration the in-space
+// linking experiment uses (edit distance on the part number).
+func DefaultLinkingConfig() LinkerConfig { return eval.DefaultLinkingConfig() }
+
+// LinkingWorkerCounts returns the default worker-count ladder (1, 2, 4,
+// ... up to all cores).
+func LinkingWorkerCounts() []int { return eval.LinkingWorkerCounts() }
+
+// LinkingExperiment runs the matcher inside the rule-reduced linking
+// spaces at each worker count (E8): quality is identical across rows;
+// the throughput column shows the parallel engine's scaling.
+func LinkingExperiment(c *Corpus, cfg LinkerConfig, workers []int) ([]LinkingRow, error) {
+	return eval.Linking(c, cfg, workers)
+}
+
+// LinkingExperimentTable renders the linking experiment.
+func LinkingExperimentTable(rows []LinkingRow) *ExperimentTable { return eval.LinkingTable(rows) }
 
 // ToponymConfig sizes the secondary-domain (geographic) corpus.
 type ToponymConfig = datagen.ToponymConfig

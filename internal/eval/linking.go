@@ -1,0 +1,145 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/linkage"
+	"repro/internal/rdf"
+	"repro/internal/similarity"
+)
+
+// LinkingRow is one line of the in-space linking experiment (E8): the
+// downstream matcher runs inside the rule-reduced linking spaces at a
+// given worker count. Quality metrics are identical across rows by the
+// engine's determinism guarantee; the throughput column shows how the
+// parallel engine scales.
+type LinkingRow struct {
+	Workers int
+	// Pairs is the number of candidate pairs the reduced spaces contain.
+	Pairs int
+	// Matches is the number of one-to-one links declared by LinkBest.
+	Matches int
+	// Result scores the declared links against the training links.
+	Result linkage.Result
+	// Elapsed is the wall time of scoring every candidate pair.
+	Elapsed time.Duration
+}
+
+// PairsPerSec is the scoring throughput of this run.
+func (r LinkingRow) PairsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Pairs) / r.Elapsed.Seconds()
+}
+
+// DefaultLinkingConfig returns the matcher configuration the experiment
+// uses: normalized edit distance on the part number, which is both the
+// property the paper's expert selected and a length-bounded measure the
+// engine can short-circuit.
+func DefaultLinkingConfig() linkage.Config {
+	return linkage.Config{
+		Comparators: []linkage.Comparator{{
+			ExternalProperty: datagen.PartNumberProp,
+			LocalProperty:    datagen.PartNumberProp,
+			Measure:          similarity.Levenshtein{},
+			Weight:           1,
+		}},
+		Threshold: 0.5,
+	}
+}
+
+// LinkingWorkerCounts returns the default ladder of worker counts: 1, 2,
+// 4, ... up to GOMAXPROCS, deduplicated.
+func LinkingWorkerCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	var out []int
+	for w := 1; w < max; w *= 2 {
+		out = append(out, w)
+	}
+	return append(out, max)
+}
+
+// Linking runs the in-space linking experiment: the reduced linking
+// space of every training-set external item is expanded into candidate
+// pairs, the matcher scores them at each worker count, and the declared
+// one-to-one links are evaluated against the training links. cfg's
+// Workers field is overridden per row.
+func Linking(c *Corpus, cfg linkage.Config, workerCounts []int) ([]LinkingRow, error) {
+	pairs, cands := linkingCandidates(c)
+	truth := c.Dataset.Training.Links
+	base, err := linkage.New(cfg, c.Dataset.External, c.Dataset.Local)
+	if err != nil {
+		return nil, fmt.Errorf("eval: building linking engine: %w", err)
+	}
+	rows := make([]LinkingRow, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		// The value index is worker-independent; share it across rows.
+		eng, err := base.WithOptions(cfg.Threshold, w)
+		if err != nil {
+			return nil, fmt.Errorf("eval: building linking engine: %w", err)
+		}
+		start := time.Now()
+		eng.ScorePairs(pairs)
+		elapsed := time.Since(start)
+		links := eng.LinkBest(cands)
+		rows = append(rows, LinkingRow{
+			Workers: w,
+			Pairs:   len(pairs),
+			Matches: len(links),
+			Result:  linkage.Evaluate(links, truth),
+			Elapsed: elapsed,
+		})
+	}
+	return rows, nil
+}
+
+// linkingCandidates expands every training-set external item's reduced
+// space into the flat pair list and per-item candidate map the engine
+// consumes.
+func linkingCandidates(c *Corpus) ([][2]rdf.Term, map[rdf.Term][]rdf.Term) {
+	var pairs [][2]rdf.Term
+	cands := map[rdf.Term][]rdf.Term{}
+	for _, link := range c.Dataset.Training.Links {
+		if _, seen := cands[link.External]; seen {
+			continue
+		}
+		preds := c.Classifier.Classify(link.External, c.Dataset.External)
+		sr := core.Space(link.External, preds, c.Instances)
+		ps := core.CandidatePairs(sr, c.Instances)
+		if len(ps) == 0 {
+			continue
+		}
+		pairs = append(pairs, ps...)
+		locs := make([]rdf.Term, len(ps))
+		for i, p := range ps {
+			locs[i] = p[1]
+		}
+		cands[link.External] = locs
+	}
+	return pairs, cands
+}
+
+// LinkingTable renders the experiment.
+func LinkingTable(rows []LinkingRow) *Table {
+	t := &Table{
+		Title:   "In-space linking: parallel matcher over the rule-reduced space",
+		Headers: []string{"workers", "candidate pairs", "pairs/s", "links", "precision", "recall", "F1"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%d", r.Pairs),
+			fmt.Sprintf("%.0f", r.PairsPerSec()),
+			fmt.Sprintf("%d", r.Matches),
+			Percent(r.Result.Precision()),
+			Percent(r.Result.Recall()),
+			Percent(r.Result.F1()),
+		})
+	}
+	return t
+}

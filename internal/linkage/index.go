@@ -1,0 +1,96 @@
+package linkage
+
+import (
+	"sort"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+	"repro/internal/similarity"
+)
+
+// indexedValue is one literal value of an item under a comparator
+// property, with everything the hot comparison loop needs precomputed:
+// the lexical form, its rune length (for length-bound early exits) and,
+// when the comparator's measure is token-based, the token list.
+type indexedValue struct {
+	value   string
+	runeLen int
+	tokens  []string
+	// tokenSet is additionally prebuilt for set-based measures (Jaccard),
+	// which would otherwise construct two maps per pair comparison.
+	tokenSet map[string]struct{}
+}
+
+// compiledComparator is one configured comparator with its measure
+// capabilities resolved and both sides' values materialized, so scoring a
+// pair is pure in-memory slice work — no graph access, no re-tokenizing.
+type compiledComparator struct {
+	weight  float64
+	measure similarity.Measure
+	// bounded is non-nil when the measure can bound its score from value
+	// lengths alone; the engine then skips value pairs whose bound cannot
+	// beat the current best.
+	bounded similarity.LengthBounded
+	// tokens is non-nil when the measure scores pre-tokenized values; the
+	// engine then tokenizes each value once at build time.
+	tokens similarity.Tokenized
+	// tokenSets is non-nil when the measure scores prebuilt token sets;
+	// preferred over tokens in the hot loop.
+	tokenSets similarity.TokenSetScored
+	ext       map[rdf.Term][]indexedValue
+	loc       map[rdf.Term][]indexedValue
+}
+
+// compileComparators materializes the value index for every comparator.
+func compileComparators(cfg Config, se, sl *rdf.Graph) []compiledComparator {
+	comps := make([]compiledComparator, len(cfg.Comparators))
+	for i, cmp := range cfg.Comparators {
+		cc := compiledComparator{weight: cmp.Weight, measure: cmp.Measure}
+		cc.bounded, _ = cmp.Measure.(similarity.LengthBounded)
+		cc.tokens, _ = cmp.Measure.(similarity.Tokenized)
+		if cc.tokens != nil {
+			// Token sets are derived from the token lists, so a measure
+			// must be Tokenized for the set path to have data.
+			cc.tokenSets, _ = cmp.Measure.(similarity.TokenSetScored)
+		}
+		cc.ext = buildValueIndex(se, cmp.ExternalProperty, cc.tokens != nil, cc.tokenSets != nil)
+		cc.loc = buildValueIndex(sl, cmp.LocalProperty, cc.tokens != nil, cc.tokenSets != nil)
+		comps[i] = cc
+	}
+	return comps
+}
+
+// buildValueIndex collects every item's literal values under prop in one
+// pass over the graph's predicate index. Values are ordered by
+// rdf.Term.Compare, matching what Graph.Objects used to return, so the
+// indexed engine is observationally identical to the graph-walking one.
+func buildValueIndex(g *rdf.Graph, prop rdf.Term, tokenize, buildSets bool) map[rdf.Term][]indexedValue {
+	byItem := map[rdf.Term][]rdf.Term{}
+	if g != nil {
+		g.Match(rdf.Term{}, prop, rdf.Term{}, func(t rdf.Triple) bool {
+			if t.O.IsLiteral() {
+				byItem[t.S] = append(byItem[t.S], t.O)
+			}
+			return true
+		})
+	}
+	out := make(map[rdf.Term][]indexedValue, len(byItem))
+	for item, objs := range byItem {
+		sort.Slice(objs, func(i, j int) bool { return objs[i].Compare(objs[j]) < 0 })
+		vals := make([]indexedValue, len(objs))
+		for i, o := range objs {
+			vals[i] = indexedValue{value: o.Value, runeLen: utf8.RuneCountInString(o.Value)}
+			if tokenize {
+				vals[i].tokens = similarity.Tokenize(o.Value)
+				if buildSets {
+					vals[i].tokenSet = make(map[string]struct{}, len(vals[i].tokens))
+					for _, tok := range vals[i].tokens {
+						vals[i].tokenSet[tok] = struct{}{}
+					}
+				}
+			}
+		}
+		out[item] = vals
+	}
+	return out
+}

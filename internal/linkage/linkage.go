@@ -7,6 +7,29 @@
 // contribution is the reduction of the space the method runs on — so this
 // engine is a standard weighted-average record matcher over the
 // similarity toolbox of internal/similarity.
+//
+// # Architecture: value index and worker model
+//
+// Pair comparison is the dominant cost of linking, so the engine is built
+// around two ideas:
+//
+//   - Value index. New snapshots each comparator's property values out of
+//     the RDF graphs into flat per-item slices (internal/linkage/index.go),
+//     precomputing rune lengths and — for token-based measures — token
+//     lists. Score therefore never touches rdf.Graph: a pair costs two map
+//     lookups plus the measure calls, and length-bounded measures
+//     (Levenshtein, Damerau) skip value pairs whose length difference
+//     already rules out beating the current best. The index is a snapshot:
+//     graph mutations after New are not observed.
+//
+//   - Parallel scoring. ScorePairs and LinkBest fan work out across
+//     Config.Workers goroutines (default: all cores) using chunked
+//     work-stealing — an atomic cursor hands fixed-size chunks to idle
+//     workers, each worker writes its chunk's matches into a dedicated
+//     result slot, and the chunks are concatenated in order and sorted
+//     under the same total order as the serial path
+//     (internal/linkage/parallel.go). Output is byte-identical to
+//     Workers=1 on the same input.
 package linkage
 
 import (
@@ -35,6 +58,10 @@ type Config struct {
 	// Threshold is the minimum weighted score for a pair to be declared
 	// a match, in [0, 1].
 	Threshold float64
+	// Workers is the number of goroutines ScorePairs and LinkBest fan
+	// out across. 0 means runtime.GOMAXPROCS(0); 1 forces the serial
+	// path. Output is identical for every worker count.
+	Workers int
 }
 
 // Validate checks the configuration.
@@ -56,23 +83,49 @@ func (c Config) Validate() error {
 	if c.Threshold < 0 || c.Threshold > 1 {
 		return fmt.Errorf("linkage: threshold %v out of [0,1]", c.Threshold)
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("linkage: negative worker count %d", c.Workers)
+	}
 	return nil
 }
 
-// Engine scores and links pairs between two graphs. Safe for concurrent
-// use after construction.
+// Engine scores and links pairs between two graphs. Construction
+// snapshots every comparator property's values into the engine's value
+// index; the graphs are not consulted again. Safe for concurrent use
+// after construction.
 type Engine struct {
-	cfg Config
-	se  *rdf.Graph
-	sl  *rdf.Graph
+	cfg   Config
+	comps []compiledComparator
+	// totalWeight is the constant score denominator: every comparator
+	// keeps its weight whether or not values are present.
+	totalWeight float64
 }
 
-// New builds an engine over the external and local graphs.
+// New builds an engine over the external and local graphs, materializing
+// the value index (see the package comment). Mutations to the graphs
+// after New are not observed by the engine.
 func New(cfg Config, se, sl *rdf.Graph) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, se: se, sl: sl}, nil
+	e := &Engine{cfg: cfg, comps: compileComparators(cfg, se, sl)}
+	for _, c := range e.comps {
+		e.totalWeight += c.weight
+	}
+	return e, nil
+}
+
+// WithOptions returns an engine sharing this engine's value index under
+// a different threshold and worker count, skipping the index rebuild.
+// The comparators are unchanged.
+func (e *Engine) WithOptions(threshold float64, workers int) (*Engine, error) {
+	cfg := e.cfg
+	cfg.Threshold = threshold
+	cfg.Workers = workers
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, comps: e.comps, totalWeight: e.totalWeight}, nil
 }
 
 // Score computes the weighted similarity of one pair in [0, 1]. For a
@@ -80,35 +133,43 @@ func New(cfg Config, se, sl *rdf.Graph) (*Engine, error) {
 // whose properties are absent on either side score 0 but keep their
 // weight in the denominator, penalizing missing information.
 func (e *Engine) Score(ext, loc rdf.Term) float64 {
-	num, den := 0.0, 0.0
-	for _, cmp := range e.cfg.Comparators {
-		den += cmp.Weight
-		evs := literalValues(e.se, ext, cmp.ExternalProperty)
-		lvs := literalValues(e.sl, loc, cmp.LocalProperty)
+	if e.totalWeight == 0 {
+		return 0
+	}
+	num := 0.0
+	for i := range e.comps {
+		c := &e.comps[i]
+		evs, lvs := c.ext[ext], c.loc[loc]
+		if len(evs) == 0 || len(lvs) == 0 {
+			continue
+		}
 		best := 0.0
-		for _, ev := range evs {
-			for _, lv := range lvs {
-				if s := cmp.Measure.Similarity(ev, lv); s > best {
+		for vi := range evs {
+			ev := &evs[vi]
+			for vj := range lvs {
+				lv := &lvs[vj]
+				// A value pair whose length bound cannot beat the current
+				// best is settled without running the measure.
+				if c.bounded != nil && c.bounded.SimilarityUpperBound(ev.runeLen, lv.runeLen) <= best {
+					continue
+				}
+				var s float64
+				switch {
+				case c.tokenSets != nil:
+					s = c.tokenSets.SimilarityTokenSets(ev.tokenSet, lv.tokenSet)
+				case c.tokens != nil:
+					s = c.tokens.SimilarityTokens(ev.tokens, lv.tokens)
+				default:
+					s = c.measure.Similarity(ev.value, lv.value)
+				}
+				if s > best {
 					best = s
 				}
 			}
 		}
-		num += cmp.Weight * best
+		num += c.weight * best
 	}
-	if den == 0 {
-		return 0
-	}
-	return num / den
-}
-
-func literalValues(g *rdf.Graph, item, prop rdf.Term) []string {
-	var out []string
-	for _, o := range g.Objects(item, prop) {
-		if o.IsLiteral() {
-			out = append(out, o.Value)
-		}
-	}
-	return out
+	return num / e.totalWeight
 }
 
 // Match is a declared same-as link with its score.
@@ -120,34 +181,37 @@ type Match struct {
 
 // ScorePairs scores candidate pairs and returns those at or above the
 // threshold, sorted by descending score (ties broken deterministically).
+// The work is spread across Config.Workers goroutines; output is
+// identical for every worker count.
 func (e *Engine) ScorePairs(pairs [][2]rdf.Term) []Match {
-	var out []Match
-	for _, p := range pairs {
-		if s := e.Score(p[0], p[1]); s >= e.cfg.Threshold {
-			out = append(out, Match{External: p[0], Local: p[1], Score: s})
-		}
-	}
+	out := mapChunks(e.workers(), pairs, func(p [2]rdf.Term) (Match, bool) {
+		s := e.Score(p[0], p[1])
+		return Match{External: p[0], Local: p[1], Score: s}, s >= e.cfg.Threshold
+	})
 	sortMatches(out)
 	return out
 }
 
 // LinkBest performs one-to-one greedy linking: every external item is
 // linked to its best-scoring candidate at or above the threshold. The
-// candidates map gives each external item's reduced linking space.
+// candidates map gives each external item's reduced linking space. The
+// per-item searches are spread across Config.Workers goroutines; output
+// is identical for every worker count.
 func (e *Engine) LinkBest(candidates map[rdf.Term][]rdf.Term) []Match {
-	var out []Match
-	for ext, locs := range candidates {
+	exts := make([]rdf.Term, 0, len(candidates))
+	for ext := range candidates {
+		exts = append(exts, ext)
+	}
+	out := mapChunks(e.workers(), exts, func(ext rdf.Term) (Match, bool) {
 		best := Match{Score: -1}
-		for _, loc := range locs {
+		for _, loc := range candidates[ext] {
 			s := e.Score(ext, loc)
 			if s > best.Score || (s == best.Score && loc.Compare(best.Local) < 0) {
 				best = Match{External: ext, Local: loc, Score: s}
 			}
 		}
-		if best.Score >= e.cfg.Threshold {
-			out = append(out, best)
-		}
-	}
+		return best, best.Score >= e.cfg.Threshold
+	})
 	sortMatches(out)
 	return out
 }

@@ -1,0 +1,75 @@
+package linkage
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// chunkSize is the number of items a worker claims at a time. Small
+// enough that uneven pair costs still balance across workers, large
+// enough that the atomic cursor is not contended.
+const chunkSize = 64
+
+// workers resolves Config.Workers: 0 means all cores.
+func (e *Engine) workers() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// mapChunks applies fn to every item, keeping results where fn reports
+// true, preserving input order in the output. With workers > 1 and
+// enough items it fans out via chunked work-stealing: an atomic cursor
+// hands chunk indices to idle goroutines, each chunk's kept results land
+// in a dedicated slot, and the slots are concatenated in chunk order —
+// so the output is exactly what the serial loop would produce.
+func mapChunks[T any](workers int, items []T, fn func(T) (Match, bool)) []Match {
+	if workers <= 1 || len(items) <= chunkSize {
+		var out []Match
+		for _, it := range items {
+			if m, ok := fn(it); ok {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	nChunks := (len(items) + chunkSize - 1) / chunkSize
+	if workers > nChunks {
+		workers = nChunks
+	}
+	results := make([][]Match, nChunks)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * chunkSize
+				hi := lo + chunkSize
+				if hi > len(items) {
+					hi = len(items)
+				}
+				var ms []Match
+				for _, it := range items[lo:hi] {
+					if m, ok := fn(it); ok {
+						ms = append(ms, m)
+					}
+				}
+				results[c] = ms
+			}
+		}()
+	}
+	wg.Wait()
+	var out []Match
+	for _, ms := range results {
+		out = append(out, ms...)
+	}
+	return out
+}

@@ -14,6 +14,10 @@ type Graph struct {
 	pos index
 	osp index
 	n   int
+	// ver counts successful mutations, letting callers that snapshot
+	// derived state (e.g. the linkage value index) detect staleness
+	// cheaply via Version.
+	ver uint64
 }
 
 // index is a three-level nested map: first key -> second key -> set of
@@ -72,6 +76,11 @@ func NewGraph() *Graph {
 // Len returns the number of triples in the graph.
 func (g *Graph) Len() int { return g.n }
 
+// Version returns a counter that increases on every successful Add or
+// Remove. Two equal Version values bracket a span with no mutations, so
+// state derived from the graph in between is still current.
+func (g *Graph) Version() uint64 { return g.ver }
+
 // Add inserts t, reporting whether it was not already present.
 // Invalid triples (per Triple.Validate) are rejected and not inserted.
 func (g *Graph) Add(t Triple) bool {
@@ -84,6 +93,7 @@ func (g *Graph) Add(t Triple) bool {
 	g.pos.add(t.P, t.O, t.S)
 	g.osp.add(t.O, t.S, t.P)
 	g.n++
+	g.ver++
 	return true
 }
 
@@ -106,6 +116,7 @@ func (g *Graph) Remove(t Triple) bool {
 	g.pos.remove(t.P, t.O, t.S)
 	g.osp.remove(t.O, t.S, t.P)
 	g.n--
+	g.ver++
 	return true
 }
 

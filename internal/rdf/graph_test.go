@@ -238,3 +238,25 @@ func TestGraphRemoveInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestGraphVersion(t *testing.T) {
+	g := NewGraph()
+	if g.Version() != 0 {
+		t.Fatalf("fresh graph version = %d", g.Version())
+	}
+	tr := T(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLiteral("v"))
+	g.Add(tr)
+	v1 := g.Version()
+	if v1 == 0 {
+		t.Error("Add did not bump version")
+	}
+	if g.Add(tr); g.Version() != v1 {
+		t.Error("duplicate Add bumped version")
+	}
+	if g.Remove(T(NewIRI("http://ex.org/x"), NewIRI("http://ex.org/p"), NewLiteral("v"))); g.Version() != v1 {
+		t.Error("no-op Remove bumped version")
+	}
+	if g.Remove(tr); g.Version() == v1 {
+		t.Error("Remove did not bump version")
+	}
+}

@@ -21,6 +21,41 @@ type Measure interface {
 	Name() string
 }
 
+// LengthBounded is implemented by measures whose score can be bounded
+// from above using only the rune lengths of the two inputs. Callers that
+// scan many value pairs for a maximum (such as the linkage engine) use
+// the bound to skip pairs that cannot beat the current best without
+// running the full comparison. Implementations must never underestimate:
+// Similarity(a, b) <= SimilarityUpperBound(runeLen(a), runeLen(b)) for
+// all a, b.
+type LengthBounded interface {
+	// SimilarityUpperBound returns an upper bound on Similarity for any
+	// pair of inputs with the given rune lengths.
+	SimilarityUpperBound(lenA, lenB int) float64
+}
+
+// Tokenized is implemented by measures whose score is a pure function of
+// Tokenize(a) and Tokenize(b). Callers that compare the same values many
+// times (again, the linkage engine) tokenize each value once up front and
+// call SimilarityTokens, skipping the per-call lowercasing and splitting.
+// Implementations must satisfy
+// Similarity(a, b) == SimilarityTokens(Tokenize(a), Tokenize(b)).
+type Tokenized interface {
+	// SimilarityTokens scores two pre-tokenized values.
+	SimilarityTokens(a, b []string) float64
+}
+
+// TokenSetScored is implemented by measures whose score is a pure
+// function of the two inputs' token *sets*. Callers that compare the
+// same values many times build each set once and call
+// SimilarityTokenSets, eliminating the per-comparison map construction
+// of SimilarityTokens. Implementations must satisfy
+// SimilarityTokens(a, b) == SimilarityTokenSets(sliceSet(a), sliceSet(b)).
+type TokenSetScored interface {
+	// SimilarityTokenSets scores two prebuilt token sets.
+	SimilarityTokenSets(a, b map[string]struct{}) float64
+}
+
 // Func adapts a plain function to the Measure interface.
 type Func struct {
 	F  func(a, b string) float64
@@ -73,4 +108,11 @@ func minInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+func absInt(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
 }

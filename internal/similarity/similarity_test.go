@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -288,4 +289,151 @@ func TestEditDistanceProperties(t *testing.T) {
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
 	}
+}
+
+// referenceLevenshtein is the straightforward rune-matrix implementation
+// the optimized byte/pooled paths are checked against.
+func referenceLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	d := make([][]int, len(ra)+1)
+	for i := range d {
+		d[i] = make([]int, len(rb)+1)
+		d[i][0] = i
+	}
+	for j := 0; j <= len(rb); j++ {
+		d[0][j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			d[i][j] = minInt(minInt(d[i-1][j]+1, d[i][j-1]+1), d[i-1][j-1]+cost)
+		}
+	}
+	return d[len(ra)][len(rb)]
+}
+
+// The ASCII byte fast path and the rune path must agree with the
+// reference on ASCII inputs, and the rune path must handle multi-byte
+// runes by rune count, not byte count.
+func TestEditDistanceASCIIFastPathParity(t *testing.T) {
+	ascii := []struct{ a, b string }{
+		{"", ""}, {"", "abc"}, {"abc", ""}, {"kitten", "sitting"},
+		{"CRCW0805-63V-ohm", "CRCW0812/63V/ohm"}, {"abcd", "abcd"},
+		{"a", "ab"}, {"flaw", "lawn"},
+	}
+	for _, tc := range ascii {
+		want := referenceLevenshtein(tc.a, tc.b)
+		if got := LevenshteinDistance(tc.a, tc.b); got != want {
+			t.Errorf("LevenshteinDistance(%q, %q) = %d, want %d", tc.a, tc.b, got, want)
+		}
+		if got := levRunes([]rune(tc.a), []rune(tc.b)); got != want {
+			t.Errorf("levRunes(%q, %q) = %d, want %d", tc.a, tc.b, got, want)
+		}
+	}
+	// Multi-byte runes: "héllo" vs "hello" is one substitution.
+	if got := LevenshteinDistance("héllo", "hello"); got != 1 {
+		t.Errorf(`LevenshteinDistance("héllo", "hello") = %d, want 1`, got)
+	}
+	if got := DamerauDistance("héllo", "héllo"); got != 0 {
+		t.Errorf("DamerauDistance(identical unicode) = %d, want 0", got)
+	}
+	// Transposition across the ASCII/unicode boundary.
+	if got := DamerauDistance("ab", "ba"); got != 1 {
+		t.Errorf(`DamerauDistance("ab", "ba") = %d, want 1`, got)
+	}
+	if got := DamerauDistance("αβ", "βα"); got != 1 {
+		t.Errorf(`DamerauDistance("αβ", "βα") = %d, want 1`, got)
+	}
+}
+
+// Property: SimilarityUpperBound never underestimates the real score.
+func TestSimilarityUpperBound(t *testing.T) {
+	measures := []struct {
+		m Measure
+		b LengthBounded
+	}{
+		{Levenshtein{}, Levenshtein{}},
+		{Damerau{}, Damerau{}},
+	}
+	f := func(a, b string) bool {
+		la, lb := len([]rune(a)), len([]rune(b))
+		for _, mb := range measures {
+			if mb.m.Similarity(a, b) > mb.b.SimilarityUpperBound(la, lb)+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	if got := (Levenshtein{}).SimilarityUpperBound(0, 0); got != 1 {
+		t.Errorf("SimilarityUpperBound(0,0) = %v, want 1", got)
+	}
+	if got := (Damerau{}).SimilarityUpperBound(2, 10); !almostEqual(got, 0.2) {
+		t.Errorf("SimilarityUpperBound(2,10) = %v, want 0.2", got)
+	}
+}
+
+// Property: SimilarityTokens on Tokenize output equals Similarity.
+func TestSimilarityTokensParity(t *testing.T) {
+	fitted := NewTFIDF()
+	fitted.Fit([]string{"acme chip resistor", "acme capacitor", "chip resistor 100 ohm"})
+	tokenized := []interface {
+		Measure
+		Tokenized
+	}{
+		Jaccard{},
+		MongeElkan{},
+		MongeElkan{Inner: Levenshtein{}},
+		NewTFIDF(),
+		fitted,
+	}
+	f := func(a, b string) bool {
+		for _, m := range tokenized {
+			if m.Similarity(a, b) != m.SimilarityTokens(Tokenize(a), Tokenize(b)) {
+				return false
+			}
+		}
+		// Jaccard additionally scores prebuilt token sets.
+		j := Jaccard{}
+		return j.Similarity(a, b) == j.SimilarityTokenSets(tokenSet(a), tokenSet(b))
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(29))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// The pooled scratch rows must be safe under concurrent use.
+func TestEditDistanceConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			alphabet := "abcdefgh"
+			rs := func(n int) string {
+				b := make([]byte, n)
+				for i := range b {
+					b[i] = alphabet[rng.Intn(len(alphabet))]
+				}
+				return string(b)
+			}
+			for i := 0; i < 200; i++ {
+				a, b := rs(rng.Intn(20)), rs(rng.Intn(20))
+				if got, want := LevenshteinDistance(a, b), referenceLevenshtein(a, b); got != want {
+					t.Errorf("concurrent LevenshteinDistance(%q, %q) = %d, want %d", a, b, got, want)
+					return
+				}
+				DamerauDistance(a, b)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
 }

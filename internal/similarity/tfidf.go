@@ -52,7 +52,11 @@ func (m *TFIDF) weight(tok string) float64 {
 
 // Similarity implements Measure.
 func (m *TFIDF) Similarity(a, b string) float64 {
-	ta, tb := Tokenize(a), Tokenize(b)
+	return m.SimilarityTokens(Tokenize(a), Tokenize(b))
+}
+
+// SimilarityTokens implements Tokenized.
+func (m *TFIDF) SimilarityTokens(ta, tb []string) float64 {
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}

@@ -32,8 +32,12 @@ func Tokenize(s string) []string {
 }
 
 func tokenSet(s string) map[string]struct{} {
-	set := map[string]struct{}{}
-	for _, tok := range Tokenize(s) {
+	return sliceSet(Tokenize(s))
+}
+
+func sliceSet(tokens []string) map[string]struct{} {
+	set := make(map[string]struct{}, len(tokens))
+	for _, tok := range tokens {
 		set[tok] = struct{}{}
 	}
 	return set
@@ -43,8 +47,17 @@ func tokenSet(s string) map[string]struct{} {
 type Jaccard struct{}
 
 // Similarity implements Measure.
-func (Jaccard) Similarity(a, b string) float64 {
-	sa, sb := tokenSet(a), tokenSet(b)
+func (j Jaccard) Similarity(a, b string) float64 {
+	return j.SimilarityTokens(Tokenize(a), Tokenize(b))
+}
+
+// SimilarityTokens implements Tokenized.
+func (j Jaccard) SimilarityTokens(ta, tb []string) float64 {
+	return j.SimilarityTokenSets(sliceSet(ta), sliceSet(tb))
+}
+
+// SimilarityTokenSets implements TokenSetScored.
+func (Jaccard) SimilarityTokenSets(sa, sb map[string]struct{}) float64 {
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1
 	}
@@ -183,11 +196,15 @@ type MongeElkan struct {
 
 // Similarity implements Measure.
 func (me MongeElkan) Similarity(a, b string) float64 {
+	return me.SimilarityTokens(Tokenize(a), Tokenize(b))
+}
+
+// SimilarityTokens implements Tokenized.
+func (me MongeElkan) SimilarityTokens(ta, tb []string) float64 {
 	inner := me.Inner
 	if inner == nil {
 		inner = JaroWinkler{}
 	}
-	ta, tb := Tokenize(a), Tokenize(b)
 	if len(ta) == 0 && len(tb) == 0 {
 		return 1
 	}

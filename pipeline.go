@@ -2,6 +2,8 @@ package datalink
 
 import (
 	"fmt"
+	"reflect"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/linkage"
@@ -51,6 +53,15 @@ type Pipeline struct {
 
 	se *Graph
 	sl *Graph
+
+	// linker caches the value-indexed engine of the last LinkWithin
+	// config: repeated calls (incremental per-item linking) reuse the
+	// index instead of re-snapshotting both graphs. The cached graph
+	// versions invalidate the index when either graph is mutated.
+	linkerMu  sync.Mutex
+	linker    *linkage.Engine
+	linkerCfg LinkerConfig
+	linkerVer [2]uint64
 }
 
 // NewPipeline learns a model and prepares the classifier and instance
@@ -82,9 +93,12 @@ func (p *Pipeline) ReducedSpace(item Term) SpaceReport {
 }
 
 // LinkWithin runs the matcher over each item's reduced space and returns
-// the best match per item at or above the configured threshold.
+// the best match per item at or above the configured threshold. The
+// engine value-indexes both graphs up front and scores candidates across
+// cfg.Workers goroutines (0 = all cores); results are deterministic for
+// every worker count.
 func (p *Pipeline) LinkWithin(items []Term, cfg LinkerConfig) ([]Match, error) {
-	eng, err := linkage.New(cfg, p.se, p.sl)
+	eng, err := p.linkerFor(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("datalink: building linker: %w", err)
 	}
@@ -97,6 +111,48 @@ func (p *Pipeline) LinkWithin(items []Term, cfg LinkerConfig) ([]Match, error) {
 		}
 	}
 	return eng.LinkBest(cands), nil
+}
+
+// linkerFor returns the engine for cfg, reusing the cached value index
+// when possible: unchanged config hits the cache outright, and a config
+// differing only in threshold or worker count shares the cached index
+// via WithOptions. A comparator change or a mutation of either graph
+// since the index was built forces a rebuild. Comparators are compared
+// with reflect.DeepEqual, which is always false for measures carrying
+// function values (similarity.Func closures): those configs still work
+// but rebuild the index every call, like the pre-cache engine did.
+func (p *Pipeline) linkerFor(cfg LinkerConfig) (*linkage.Engine, error) {
+	p.linkerMu.Lock()
+	defer p.linkerMu.Unlock()
+	fresh := p.linkerVer == [2]uint64{p.se.Version(), p.sl.Version()}
+	if p.linker != nil && fresh && reflect.DeepEqual(cfg.Comparators, p.linkerCfg.Comparators) {
+		if cfg.Threshold == p.linkerCfg.Threshold && cfg.Workers == p.linkerCfg.Workers {
+			return p.linker, nil
+		}
+		eng, err := p.linker.WithOptions(cfg.Threshold, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		p.linker = eng
+		p.storeLinkerCfg(cfg)
+		return eng, nil
+	}
+	eng, err := linkage.New(cfg, p.se, p.sl)
+	if err != nil {
+		return nil, err
+	}
+	p.linker = eng
+	p.storeLinkerCfg(cfg)
+	p.linkerVer = [2]uint64{p.se.Version(), p.sl.Version()}
+	return eng, nil
+}
+
+// storeLinkerCfg records the cached engine's config with the comparator
+// slice defensively copied, so a caller mutating its own slice in place
+// cannot alias the cache's change detection.
+func (p *Pipeline) storeLinkerCfg(cfg LinkerConfig) {
+	cfg.Comparators = append([]Comparator(nil), cfg.Comparators...)
+	p.linkerCfg = cfg
 }
 
 // Generalize applies the subsumption extension to the pipeline's model
