@@ -22,6 +22,7 @@
 //	datagen     write a generated corpus to N-Triples files
 //	learn       learn rules from corpus files and save them
 //	classify    classify external items with saved rules
+//	serve       run the live linking service (HTTP/JSON)
 //	all         run every experiment in sequence
 package main
 
@@ -80,6 +81,8 @@ func main() {
 		err = cmdAll(args)
 	case "export":
 		err = cmdExport(args)
+	case "serve":
+		err = cmdServe(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -119,6 +122,12 @@ pipeline:
   datagen -out DIR     write a corpus as N-Triples files
   learn   -data DIR    learn rules from corpus files, save rules.tsv
   classify -rules F    classify external items with saved rules
+
+service:
+  serve -addr HOST:PORT   run the live linking service (HTTP/JSON):
+                          upsert/remove items, relearn rules, query
+                          top-k links in the rule-reduced space
+                          (see examples/service for a walkthrough)
 
 common flags: -seed N, -scale paper|small, -links N, -catalog N`)
 }
@@ -538,32 +547,15 @@ func cmdLearn(args []string) error {
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	ontoG, err := readGraph(filepath.Join(*dir, "ontology.nt"))
+	ds, err := readDataset(*dir)
 	if err != nil {
 		return err
 	}
-	ol, err := datalink.OntologyFromGraph(ontoG)
-	if err != nil {
-		return err
-	}
-	sl, err := readGraph(filepath.Join(*dir, "local.nt"))
-	if err != nil {
-		return err
-	}
-	se, err := readGraph(filepath.Join(*dir, "external.nt"))
-	if err != nil {
-		return err
-	}
-	tsG, err := readGraph(filepath.Join(*dir, "training.nt"))
-	if err != nil {
-		return err
-	}
-	ts := datalink.TrainingSetFromGraph(tsG)
 	cfg := datalink.LearnerConfig{SupportThreshold: *th}
 	if *property != "" {
 		cfg.Properties = []datalink.Term{datalink.NewIRI(*property)}
 	}
-	m, err := datalink.Learn(cfg, ts, se, sl, ol)
+	m, err := datalink.Learn(cfg, ds.Training, ds.External, ds.Local, ds.Ontology)
 	if err != nil {
 		return err
 	}

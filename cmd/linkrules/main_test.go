@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -130,6 +133,81 @@ func TestCLIExport(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
 			t.Errorf("missing export %s: %v", f, err)
 		}
+	}
+}
+
+// TestCLIServe boots the live service on an ephemeral port, waits for
+// the printed address, and drives the HTTP API end to end: status, a
+// link query, and an upsert that must be visible to the next query.
+func TestCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	cmd := exec.Command(bin, "serve", "-scale", "small", "-seed", "7", "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			base = addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("server never printed its address: %v", sc.Err())
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	post := func(path, body string) string {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	if out := get("/healthz"); !strings.Contains(out, `"ok":true`) {
+		t.Fatalf("healthz: %s", out)
+	}
+	if out := get("/v1/status"); !strings.Contains(out, `"learned":true`) {
+		t.Fatalf("status: %s", out)
+	}
+	linkOut := post("/v1/link", `{"items":["http://provider.example/item/D000000"],"top_k":1}`)
+	if !strings.Contains(linkOut, "matches") {
+		t.Fatalf("link: %s", linkOut)
+	}
+	post("/v1/items/upsert", `{"side":"external","items":[{"id":"http://provider.example/item/D000000","properties":{"http://provider.example/prop#partNumber":["ZZZ-NOPE-999"]}}]}`)
+	after := post("/v1/link", `{"items":["http://provider.example/item/D000000"],"top_k":1}`)
+	if after == linkOut {
+		t.Fatal("upsert had no effect on the following link query")
 	}
 }
 

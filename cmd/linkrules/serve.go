@@ -1,0 +1,105 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	datalink "repro"
+	"repro/internal/service"
+)
+
+// cmdServe starts the live linking service: an HTTP/JSON API over a
+// corpus that supports item upserts/removals, relearning rules from
+// labeled links, and top-k link queries inside the rule-reduced space.
+//
+// The corpus comes either from a directory written by `linkrules
+// datagen` (-data) or is generated in-process from the corpus flags.
+// With -learn (the default) the corpus's training links are learned at
+// startup, so the service answers link queries immediately; without it
+// the service starts empty-handed and expects POST /v1/learn.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	cf := addCorpusFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	data := fs.String("data", "", "corpus directory from `linkrules datagen` (empty: generate from corpus flags)")
+	learn := fs.Bool("learn", true, "learn rules from the corpus training links at startup")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+
+	var ds *datalink.Dataset
+	if *data != "" {
+		var err error
+		if ds, err = readDataset(*data); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "linkrules serve: loaded corpus from %s (SE %d, SL %d triples)\n",
+			*data, ds.External.Len(), ds.Local.Len())
+	} else {
+		cfg, err := cf.config()
+		if err != nil {
+			return err
+		}
+		if ds, err = datalink.GenerateCorpus(cfg); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "linkrules serve: generated %s corpus, seed %d (SE %d, SL %d triples)\n",
+			cf.scale, cf.seed, ds.External.Len(), ds.Local.Len())
+	}
+
+	svc := service.New(ds.External, ds.Local, ds.Ontology, service.Options{
+		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
+		DefaultLinker: datalink.DefaultLinkingConfig(),
+	})
+	if *learn {
+		if err := svc.LearnLinks(ds.Training.Links); err != nil {
+			return fmt.Errorf("learning startup model: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "linkrules serve: learned rules from %d training links\n", ds.Training.Len())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address goes to stdout so scripts (and the CLI smoke
+	// test) can pick up an ephemeral port.
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	return srv.Serve(ln)
+}
+
+// readDataset loads the four N-Triples files `linkrules datagen` writes.
+func readDataset(dir string) (*datalink.Dataset, error) {
+	ontoG, err := readGraph(filepath.Join(dir, "ontology.nt"))
+	if err != nil {
+		return nil, err
+	}
+	ol, err := datalink.OntologyFromGraph(ontoG)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := readGraph(filepath.Join(dir, "local.nt"))
+	if err != nil {
+		return nil, err
+	}
+	se, err := readGraph(filepath.Join(dir, "external.nt"))
+	if err != nil {
+		return nil, err
+	}
+	tsG, err := readGraph(filepath.Join(dir, "training.nt"))
+	if err != nil {
+		return nil, err
+	}
+	return &datalink.Dataset{
+		External: se,
+		Local:    sl,
+		Ontology: ol,
+		Training: datalink.TrainingSetFromGraph(tsG),
+	}, nil
+}

@@ -1,0 +1,116 @@
+// Live linking service demo: start the HTTP/JSON service in-process over
+// a small generated corpus, then drive it the way a client would — learn
+// rules, query links, upsert an item and watch the next query pick it up
+// without any index rebuild. Run with:
+//
+//	go run ./examples/service
+//
+// The same flow works against `linkrules serve` with curl; see the
+// README in this directory for the command-by-command walkthrough.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	datalink "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	// A small synthetic corpus: catalog SL, provider documents SE, the
+	// ontology, and 600 expert-validated links.
+	ds, err := datalink.GenerateCorpus(datalink.SmallCorpusConfig(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	svc := service.New(ds.External, ds.Local, ds.Ontology, service.Options{
+		DefaultLinker: datalink.DefaultLinkingConfig(),
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	fmt.Printf("service listening on %s\n\n", srv.URL)
+
+	post := func(path, body string) string { return do(srv.URL, "POST", path, body) }
+	get := func(path string) string { return do(srv.URL, "GET", path, "") }
+
+	// 1. Learn rules from the corpus's expert links.
+	links := make([]string, 0, ds.Training.Len())
+	for _, l := range ds.Training.Links {
+		links = append(links, fmt.Sprintf(`{"external":%q,"local":%q}`, l.External.Value, l.Local.Value))
+	}
+	fmt.Println("POST /v1/learn ->", post("/v1/learn", `{"links":[`+strings.Join(links, ",")+`]}`))
+
+	// 2. Status: corpus sizes, model state, available measures.
+	fmt.Println("GET /v1/status ->", get("/v1/status"))
+
+	// 3. Top-2 links for one provider item, inside its reduced space.
+	item := "http://provider.example/item/D000003"
+	query := fmt.Sprintf(`{"items":[%q],"top_k":2}`, item)
+	fmt.Println("POST /v1/link ->", post("/v1/link", query))
+
+	// 4. Upsert a new catalog item that matches the provider item's part
+	// number exactly. The service re-indexes just this item — no engine
+	// rebuild — so the next query sees it immediately.
+	pn := partNumberOf(ds.External, item)
+	class := classOfBestMatch(ds, item)
+	up := fmt.Sprintf(`{"side":"local","items":[{"id":"http://thales.example/catalog/NEW","properties":{%q:[%q]},"classes":[%q]}]}`,
+		"http://provider.example/prop#partNumber", pn, class)
+	fmt.Println("POST /v1/items/upsert ->", post("/v1/items/upsert", up))
+	fmt.Println("POST /v1/link ->", post("/v1/link", query))
+
+	// 5. Remove it again; the following query falls back to the old best.
+	fmt.Println("POST /v1/items/remove ->",
+		post("/v1/items/remove", `{"side":"local","ids":["http://thales.example/catalog/NEW"]}`))
+	fmt.Println("POST /v1/link ->", post("/v1/link", query))
+}
+
+// do issues one request and returns the (truncated) response body.
+func do(base, method, path, body string) string {
+	req, err := http.NewRequest(method, base+path, strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	out := strings.TrimSpace(string(b))
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s %s: %d %s", method, path, resp.StatusCode, out)
+	}
+	if len(out) > 300 {
+		out = out[:300] + "…"
+	}
+	return out
+}
+
+// partNumberOf reads an item's part number from the external graph.
+func partNumberOf(se *datalink.Graph, item string) string {
+	v, ok := se.FirstObject(datalink.NewIRI(item), datalink.PartNumberProperty)
+	if !ok {
+		log.Fatalf("no part number on %s", item)
+	}
+	return v.Value
+}
+
+// classOfBestMatch returns the catalog class of the item's true link, so
+// the upserted demo item lands inside the reduced linking space.
+func classOfBestMatch(ds *datalink.Dataset, item string) string {
+	for _, l := range ds.Training.Links {
+		if l.External.Value == item {
+			if c, ok := ds.Local.FirstObject(l.Local, datalink.RDFType); ok {
+				return c.Value
+			}
+		}
+	}
+	log.Fatalf("no training link for %s", item)
+	return ""
+}

@@ -1,9 +1,11 @@
 package blocking
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"repro/internal/par"
 	"repro/internal/similarity"
 )
 
@@ -24,6 +26,11 @@ type Canopy struct {
 	Tight float64
 	// Q is the gram size of the cheap similarity; 0 means 2.
 	Q int
+	// Workers fans the per-record gram-set computation out across
+	// goroutines; 0 means all cores, 1 forces serial. The canopy scan
+	// itself stays sequential (it is stateful in the set of active
+	// centers), so results are identical for every worker count.
+	Workers int
 }
 
 func (c Canopy) params() (loose, tight float64, q int) {
@@ -51,13 +58,17 @@ type canopyEntry struct {
 func (c Canopy) Pairs(external, local []Record) []Pair {
 	loose, tight, q := c.params()
 
+	entryFor := func(ext bool) func(Record) (canopyEntry, bool) {
+		return func(r Record) (canopyEntry, bool) {
+			return canopyEntry{id: r.ID, external: ext, grams: gramSet(r.Key, q)}, true
+		}
+	}
+	ctx := context.Background()
+	extEntries, _ := par.MapChunks(ctx, c.Workers, 0, external, entryFor(true))
+	locEntries, _ := par.MapChunks(ctx, c.Workers, 0, local, entryFor(false))
 	entries := make([]canopyEntry, 0, len(external)+len(local))
-	for _, r := range external {
-		entries = append(entries, canopyEntry{id: r.ID, external: true, grams: gramSet(r.Key, q)})
-	}
-	for _, r := range local {
-		entries = append(entries, canopyEntry{id: r.ID, external: false, grams: gramSet(r.Key, q)})
-	}
+	entries = append(entries, extEntries...)
+	entries = append(entries, locEntries...)
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].external != entries[j].external {
 			return entries[i].external

@@ -1,0 +1,96 @@
+package blocking
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func parallelFixture(nExt, nLoc int) (ext, loc []Record) {
+	for i := 0; i < nExt; i++ {
+		ext = append(ext, Record{ID: fmt.Sprintf("e%d", i), Key: fmt.Sprintf("CRCW%04d-%dV", i%97, i%13)})
+	}
+	for i := 0; i < nLoc; i++ {
+		loc = append(loc, Record{ID: fmt.Sprintf("l%d", i), Key: fmt.Sprintf("CRCW%04d-%dV", i%89, i%13)})
+	}
+	return ext, loc
+}
+
+// TestBigramParallelDeterminism asserts the fanned-out sub-list
+// computation yields the exact candidate set of the serial method at
+// every worker count.
+func TestBigramParallelDeterminism(t *testing.T) {
+	ext, loc := parallelFixture(300, 400)
+	want := Bigram{Threshold: 0.8, MaxSublists: 16, Workers: 1}.Pairs(ext, loc)
+	if len(want) == 0 {
+		t.Fatal("degenerate fixture")
+	}
+	for _, workers := range []int{0, 2, 3, 7} {
+		got := Bigram{Threshold: 0.8, MaxSublists: 16, Workers: workers}.Pairs(ext, loc)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Bigram workers=%d: %d pairs, serial %d", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestCanopyParallelDeterminism does the same for the canopy method's
+// parallel gram-set phase.
+func TestCanopyParallelDeterminism(t *testing.T) {
+	ext, loc := parallelFixture(250, 350)
+	want := Canopy{Workers: 1}.Pairs(ext, loc)
+	if len(want) == 0 {
+		t.Fatal("degenerate fixture")
+	}
+	for _, workers := range []int{0, 2, 3, 7} {
+		got := Canopy{Workers: workers}.Pairs(ext, loc)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Canopy workers=%d: %d pairs, serial %d", workers, len(got), len(want))
+		}
+	}
+}
+
+// TestStreamMatchesPairs checks that the streaming sources emit exactly
+// the pair set of the materialized method, each pair once.
+func TestStreamMatchesPairs(t *testing.T) {
+	ext, loc := parallelFixture(40, 60)
+	for _, m := range []Streamer{Cartesian{}, Standard{Key: PrefixKey(6)}} {
+		want := m.Pairs(ext, loc)
+		var got []Pair
+		seen := map[Pair]struct{}{}
+		m.Stream(ext, loc, func(p Pair) bool {
+			if _, dup := seen[p]; dup {
+				t.Fatalf("%s: pair %v emitted twice", m.Name(), p)
+			}
+			seen[p] = struct{}{}
+			got = append(got, p)
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("%s: streamed %d pairs, materialized %d", m.Name(), len(got), len(want))
+		}
+		wantSet := make(map[Pair]struct{}, len(want))
+		for _, p := range want {
+			wantSet[p] = struct{}{}
+		}
+		for _, p := range got {
+			if _, ok := wantSet[p]; !ok {
+				t.Fatalf("%s: streamed pair %v not in materialized set", m.Name(), p)
+			}
+		}
+	}
+}
+
+// TestStreamEarlyStop checks yield=false stops the sources immediately.
+func TestStreamEarlyStop(t *testing.T) {
+	ext, loc := parallelFixture(40, 60)
+	for _, m := range []Streamer{Cartesian{}, Standard{Key: PrefixKey(6)}} {
+		n := 0
+		m.Stream(ext, loc, func(Pair) bool {
+			n++
+			return n < 5
+		})
+		if n != 5 {
+			t.Errorf("%s: yielded %d pairs after stop at 5", m.Name(), n)
+		}
+	}
+}

@@ -34,8 +34,23 @@ type Standard struct {
 	Label string
 }
 
-// Pairs implements Method.
+// Pairs implements Method, by draining Stream into the deduplicated
+// sorted pair set — one blocking implementation, two consumption modes.
 func (s Standard) Pairs(external, local []Record) []Pair {
+	ps := pairSet{}
+	s.Stream(external, local, func(p Pair) bool {
+		ps[p] = struct{}{}
+		return true
+	})
+	return ps.slice()
+}
+
+// Stream implements Streamer: the local side is indexed into blocks
+// (O(|local|) memory), then each external record's block flows through
+// yield without the pair set ever materializing. Every pair is emitted
+// exactly once because an external record probes exactly one block and
+// each local record appears once per block.
+func (s Standard) Stream(external, local []Record, yield func(Pair) bool) {
 	key := s.Key
 	if key == nil {
 		key = PrefixKey(5)
@@ -48,17 +63,17 @@ func (s Standard) Pairs(external, local []Record) []Pair {
 		}
 		blocks[k] = append(blocks[k], r.ID)
 	}
-	ps := pairSet{}
 	for _, e := range external {
 		k := key(e.Key)
 		if k == "" {
 			continue
 		}
 		for _, lid := range blocks[k] {
-			ps.add(e.ID, lid)
+			if !yield(Pair{A: e.ID, B: lid}) {
+				return
+			}
 		}
 	}
-	return ps.slice()
 }
 
 // Name implements Method.
@@ -71,8 +86,8 @@ func (s Standard) Name() string {
 
 // ensure interface satisfaction
 var (
-	_ Method = Cartesian{}
-	_ Method = Standard{}
+	_ Streamer = Cartesian{}
+	_ Streamer = Standard{}
 )
 
 // String renders metrics compactly for logs.

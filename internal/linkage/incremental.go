@@ -1,0 +1,108 @@
+package linkage
+
+import "repro/internal/rdf"
+
+// Side selects which of an engine's two sources an item belongs to.
+type Side int
+
+const (
+	// ExternalSide addresses items of the external graph (SE).
+	ExternalSide Side = iota
+	// LocalSide addresses items of the local catalog graph (SL).
+	LocalSide
+)
+
+// String returns the side name, for diagnostics and wire formats.
+func (s Side) String() string {
+	if s == ExternalSide {
+		return "external"
+	}
+	return "local"
+}
+
+// Upsert re-reads each item's comparator property values from the
+// engine's graph on the given side and updates the value index in place,
+// so a live graph never forces a full New rebuild. Call it after adding,
+// changing or deleting an item's triples; an item with no remaining
+// comparator values is dropped from the index (making Upsert subsume
+// Remove for deleted items).
+//
+// The index's recorded graph version advances to the graph's current
+// Version, so the caller's contract is: mutate the graph, then Upsert
+// every item touched since the last Upsert. Safe to call concurrently
+// with queries — readers block for the duration of the update and then
+// observe all of it.
+func (e *Engine) Upsert(side Side, items ...rdf.Term) {
+	st := e.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	g := st.graph(side)
+	for ci := range st.comps {
+		c := &st.comps[ci]
+		m, prop := c.sideIndex(side)
+		for _, item := range items {
+			vals := itemValues(g, item, prop, c.tokens != nil, c.tokenSets != nil)
+			if len(vals) == 0 {
+				delete(m, item)
+			} else {
+				m[item] = vals
+			}
+		}
+	}
+	st.syncVersion(side)
+}
+
+// Remove drops the items from the value index on the given side without
+// consulting the graph. Equivalent to Upsert after the items' triples
+// were removed, but never re-reads, so it also works when the graph still
+// holds the triples (soft-deleting an item from linking only). A soft
+// delete lives only as long as this index: anything that rebuilds the
+// engine from the graphs (linkage.New, e.g. via a Pipeline cache miss on
+// a comparator change) re-indexes the item. To delete durably, remove
+// the triples from the graph before calling Remove or Upsert.
+func (e *Engine) Remove(side Side, items ...rdf.Term) {
+	st := e.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for ci := range st.comps {
+		c := &st.comps[ci]
+		m, _ := c.sideIndex(side)
+		for _, item := range items {
+			delete(m, item)
+		}
+	}
+	st.syncVersion(side)
+}
+
+// Versions returns the external and local graph versions the value index
+// currently reflects: the Version() observed at New, advanced by each
+// Upsert/Remove on the respective side.
+func (e *Engine) Versions() (ext, loc uint64) {
+	e.st.mu.RLock()
+	defer e.st.mu.RUnlock()
+	return e.st.extVer, e.st.locVer
+}
+
+// Fresh reports whether the index reflects the current versions of both
+// underlying graphs, i.e. no graph mutation since the last Upsert/Remove
+// (or New) is still unindexed.
+func (e *Engine) Fresh() bool {
+	e.st.mu.RLock()
+	defer e.st.mu.RUnlock()
+	return e.st.extVer == graphVersion(e.st.se) && e.st.locVer == graphVersion(e.st.sl)
+}
+
+func (st *engineState) graph(side Side) *rdf.Graph {
+	if side == ExternalSide {
+		return st.se
+	}
+	return st.sl
+}
+
+func (st *engineState) syncVersion(side Side) {
+	if side == ExternalSide {
+		st.extVer = graphVersion(st.se)
+	} else {
+		st.locVer = graphVersion(st.sl)
+	}
+}

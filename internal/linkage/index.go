@@ -24,9 +24,15 @@ type indexedValue struct {
 // compiledComparator is one configured comparator with its measure
 // capabilities resolved and both sides' values materialized, so scoring a
 // pair is pure in-memory slice work — no graph access, no re-tokenizing.
+// The property terms are retained so Upsert can re-read a single item's
+// values from a live graph.
 type compiledComparator struct {
 	weight  float64
 	measure similarity.Measure
+	// extProp and locProp are the configured property terms, kept for
+	// incremental re-indexing.
+	extProp rdf.Term
+	locProp rdf.Term
 	// bounded is non-nil when the measure can bound its score from value
 	// lengths alone; the engine then skips value pairs whose bound cannot
 	// beat the current best.
@@ -41,11 +47,24 @@ type compiledComparator struct {
 	loc       map[rdf.Term][]indexedValue
 }
 
+// sideIndex returns the comparator's value map and property for one side.
+func (cc *compiledComparator) sideIndex(side Side) (map[rdf.Term][]indexedValue, rdf.Term) {
+	if side == ExternalSide {
+		return cc.ext, cc.extProp
+	}
+	return cc.loc, cc.locProp
+}
+
 // compileComparators materializes the value index for every comparator.
 func compileComparators(cfg Config, se, sl *rdf.Graph) []compiledComparator {
 	comps := make([]compiledComparator, len(cfg.Comparators))
 	for i, cmp := range cfg.Comparators {
-		cc := compiledComparator{weight: cmp.Weight, measure: cmp.Measure}
+		cc := compiledComparator{
+			weight:  cmp.Weight,
+			measure: cmp.Measure,
+			extProp: cmp.ExternalProperty,
+			locProp: cmp.LocalProperty,
+		}
 		cc.bounded, _ = cmp.Measure.(similarity.LengthBounded)
 		cc.tokens, _ = cmp.Measure.(similarity.Tokenized)
 		if cc.tokens != nil {
@@ -76,21 +95,46 @@ func buildValueIndex(g *rdf.Graph, prop rdf.Term, tokenize, buildSets bool) map[
 	}
 	out := make(map[rdf.Term][]indexedValue, len(byItem))
 	for item, objs := range byItem {
-		sort.Slice(objs, func(i, j int) bool { return objs[i].Compare(objs[j]) < 0 })
-		vals := make([]indexedValue, len(objs))
-		for i, o := range objs {
-			vals[i] = indexedValue{value: o.Value, runeLen: utf8.RuneCountInString(o.Value)}
-			if tokenize {
-				vals[i].tokens = similarity.Tokenize(o.Value)
-				if buildSets {
-					vals[i].tokenSet = make(map[string]struct{}, len(vals[i].tokens))
-					for _, tok := range vals[i].tokens {
-						vals[i].tokenSet[tok] = struct{}{}
-					}
+		out[item] = compileValues(objs, tokenize, buildSets)
+	}
+	return out
+}
+
+// itemValues re-reads one item's literal values under prop, producing the
+// same indexed representation buildValueIndex would — the unit of work of
+// an incremental Upsert.
+func itemValues(g *rdf.Graph, item, prop rdf.Term, tokenize, buildSets bool) []indexedValue {
+	var objs []rdf.Term
+	if g != nil {
+		g.Match(item, prop, rdf.Term{}, func(t rdf.Triple) bool {
+			if t.O.IsLiteral() {
+				objs = append(objs, t.O)
+			}
+			return true
+		})
+	}
+	if len(objs) == 0 {
+		return nil
+	}
+	return compileValues(objs, tokenize, buildSets)
+}
+
+// compileValues sorts the raw value terms and precomputes rune lengths,
+// token lists and token sets as the comparator's measure requires.
+func compileValues(objs []rdf.Term, tokenize, buildSets bool) []indexedValue {
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Compare(objs[j]) < 0 })
+	vals := make([]indexedValue, len(objs))
+	for i, o := range objs {
+		vals[i] = indexedValue{value: o.Value, runeLen: utf8.RuneCountInString(o.Value)}
+		if tokenize {
+			vals[i].tokens = similarity.Tokenize(o.Value)
+			if buildSets {
+				vals[i].tokenSet = make(map[string]struct{}, len(vals[i].tokens))
+				for _, tok := range vals[i].tokens {
+					vals[i].tokenSet[tok] = struct{}{}
 				}
 			}
 		}
-		out[item] = vals
 	}
-	return out
+	return vals
 }

@@ -23,20 +23,39 @@
 //     graph mutations after New are not observed.
 //
 //   - Parallel scoring. ScorePairs and LinkBest fan work out across
-//     Config.Workers goroutines (default: all cores) using chunked
-//     work-stealing — an atomic cursor hands fixed-size chunks to idle
-//     workers, each worker writes its chunk's matches into a dedicated
-//     result slot, and the chunks are concatenated in order and sorted
-//     under the same total order as the serial path
-//     (internal/linkage/parallel.go). Output is byte-identical to
-//     Workers=1 on the same input.
+//     Config.Workers goroutines (default: all cores) using the chunked
+//     work-stealing scaffold of internal/par — an atomic cursor hands
+//     fixed-size chunks to idle workers, each worker writes its chunk's
+//     matches into a dedicated result slot, and the chunks are
+//     concatenated in order and sorted under the same total order as the
+//     serial path. Output is byte-identical to Workers=1 on the same
+//     input. The Ctx variants additionally observe context cancellation
+//     between chunks, so a dropped service request stops in-flight
+//     scoring.
+//
+// # Live engines
+//
+// The value index is mutable after construction: Upsert and Remove
+// (internal/linkage/incremental.go) re-index single items in place,
+// guarded by an RWMutex so concurrent ScorePairs/LinkBest readers always
+// observe a consistent snapshot — each read operation holds the read
+// lock end-to-end (the streaming variants per scoring batch), and
+// writers are excluded for its duration. The index
+// records the rdf.Graph.Version counters it reflects, letting callers
+// that cache engines (Pipeline) detect staleness without rebuilding.
+// StreamPairs and LinkBestStream (internal/linkage/stream.go) score
+// candidate pairs produced by an iterator in bounded memory, so huge
+// candidate spaces never materialize [][2]Term.
 package linkage
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/rdf"
 	"repro/internal/similarity"
 )
@@ -91,33 +110,64 @@ func (c Config) Validate() error {
 
 // Engine scores and links pairs between two graphs. Construction
 // snapshots every comparator property's values into the engine's value
-// index; the graphs are not consulted again. Safe for concurrent use
-// after construction.
+// index; the graphs are consulted again only by Upsert, which re-indexes
+// individual items from them. Safe for concurrent use, including queries
+// running concurrently with Upsert/Remove.
 type Engine struct {
-	cfg   Config
+	cfg Config
+	// st is the mutable value index, shared with every engine derived via
+	// WithOptions so incremental updates reach all of them.
+	st *engineState
+}
+
+// engineState is the shared, mutable half of an engine: the compiled
+// value index, the live graph references Upsert re-reads from, and the
+// graph versions the index currently reflects. mu serializes writers
+// (Upsert, Remove) against the read paths, each of which holds the read
+// lock for the duration of one query so it sees a consistent snapshot.
+type engineState struct {
+	mu    sync.RWMutex
 	comps []compiledComparator
 	// totalWeight is the constant score denominator: every comparator
 	// keeps its weight whether or not values are present.
 	totalWeight float64
+	se, sl      *rdf.Graph
+	extVer      uint64
+	locVer      uint64
 }
 
 // New builds an engine over the external and local graphs, materializing
 // the value index (see the package comment). Mutations to the graphs
-// after New are not observed by the engine.
+// after New are not observed by the engine until the mutated items are
+// passed to Upsert or Remove.
 func New(cfg Config, se, sl *rdf.Graph) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Engine{cfg: cfg, comps: compileComparators(cfg, se, sl)}
-	for _, c := range e.comps {
-		e.totalWeight += c.weight
+	st := &engineState{
+		comps:  compileComparators(cfg, se, sl),
+		se:     se,
+		sl:     sl,
+		extVer: graphVersion(se),
+		locVer: graphVersion(sl),
 	}
-	return e, nil
+	for _, c := range st.comps {
+		st.totalWeight += c.weight
+	}
+	return &Engine{cfg: cfg, st: st}, nil
+}
+
+func graphVersion(g *rdf.Graph) uint64 {
+	if g == nil {
+		return 0
+	}
+	return g.Version()
 }
 
 // WithOptions returns an engine sharing this engine's value index under
 // a different threshold and worker count, skipping the index rebuild.
-// The comparators are unchanged.
+// The comparators are unchanged, and incremental updates through either
+// engine are visible to both.
 func (e *Engine) WithOptions(threshold float64, workers int) (*Engine, error) {
 	cfg := e.cfg
 	cfg.Threshold = threshold
@@ -125,20 +175,33 @@ func (e *Engine) WithOptions(threshold float64, workers int) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, comps: e.comps, totalWeight: e.totalWeight}, nil
+	return &Engine{cfg: cfg, st: e.st}, nil
 }
+
+// workers resolves Config.Workers: 0 means all cores.
+func (e *Engine) workers() int { return par.Workers(e.cfg.Workers) }
+
+// chunkSize is the number of items a worker claims at a time.
+const chunkSize = par.DefaultChunk
 
 // Score computes the weighted similarity of one pair in [0, 1]. For a
 // multi-valued property the best-scoring value pair counts. Comparators
 // whose properties are absent on either side score 0 but keep their
 // weight in the denominator, penalizing missing information.
 func (e *Engine) Score(ext, loc rdf.Term) float64 {
-	if e.totalWeight == 0 {
+	e.st.mu.RLock()
+	defer e.st.mu.RUnlock()
+	return e.st.score(ext, loc)
+}
+
+// score is the hot path; callers must hold st.mu (read or write).
+func (st *engineState) score(ext, loc rdf.Term) float64 {
+	if st.totalWeight == 0 {
 		return 0
 	}
 	num := 0.0
-	for i := range e.comps {
-		c := &e.comps[i]
+	for i := range st.comps {
+		c := &st.comps[i]
 		evs, lvs := c.ext[ext], c.loc[loc]
 		if len(evs) == 0 || len(lvs) == 0 {
 			continue
@@ -169,7 +232,7 @@ func (e *Engine) Score(ext, loc rdf.Term) float64 {
 		}
 		num += c.weight * best
 	}
-	return num / e.totalWeight
+	return num / st.totalWeight
 }
 
 // Match is a declared same-as link with its score.
@@ -184,12 +247,26 @@ type Match struct {
 // The work is spread across Config.Workers goroutines; output is
 // identical for every worker count.
 func (e *Engine) ScorePairs(pairs [][2]rdf.Term) []Match {
-	out := mapChunks(e.workers(), pairs, func(p [2]rdf.Term) (Match, bool) {
-		s := e.Score(p[0], p[1])
+	out, _ := e.ScorePairsCtx(context.Background(), pairs)
+	return out
+}
+
+// ScorePairsCtx is ScorePairs with cooperative cancellation: when ctx is
+// cancelled mid-run, in-flight chunks finish, the rest are skipped, and
+// ctx.Err() is returned with a nil slice.
+func (e *Engine) ScorePairsCtx(ctx context.Context, pairs [][2]rdf.Term) ([]Match, error) {
+	st := e.st
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out, err := par.MapChunks(ctx, e.workers(), chunkSize, pairs, func(p [2]rdf.Term) (Match, bool) {
+		s := st.score(p[0], p[1])
 		return Match{External: p[0], Local: p[1], Score: s}, s >= e.cfg.Threshold
 	})
+	if err != nil {
+		return nil, err
+	}
 	sortMatches(out)
-	return out
+	return out, nil
 }
 
 // LinkBest performs one-to-one greedy linking: every external item is
@@ -198,21 +275,60 @@ func (e *Engine) ScorePairs(pairs [][2]rdf.Term) []Match {
 // per-item searches are spread across Config.Workers goroutines; output
 // is identical for every worker count.
 func (e *Engine) LinkBest(candidates map[rdf.Term][]rdf.Term) []Match {
+	out, _ := e.LinkBestCtx(context.Background(), candidates)
+	return out
+}
+
+// LinkBestCtx is LinkBest with cooperative cancellation, following the
+// contract of ScorePairsCtx.
+func (e *Engine) LinkBestCtx(ctx context.Context, candidates map[rdf.Term][]rdf.Term) ([]Match, error) {
 	exts := make([]rdf.Term, 0, len(candidates))
 	for ext := range candidates {
 		exts = append(exts, ext)
 	}
-	out := mapChunks(e.workers(), exts, func(ext rdf.Term) (Match, bool) {
-		best := Match{Score: -1}
-		for _, loc := range candidates[ext] {
-			s := e.Score(ext, loc)
-			if s > best.Score || (s == best.Score && loc.Compare(best.Local) < 0) {
-				best = Match{External: ext, Local: loc, Score: s}
-			}
-		}
-		return best, best.Score >= e.cfg.Threshold
+	st := e.st
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out, err := par.MapChunks(ctx, e.workers(), chunkSize, exts, func(ext rdf.Term) (Match, bool) {
+		return st.bestFor(ext, candidates[ext], e.cfg.Threshold)
 	})
+	if err != nil {
+		return nil, err
+	}
 	sortMatches(out)
+	return out, nil
+}
+
+// bestFor returns ext's best-scoring candidate among locs and whether it
+// clears the threshold; callers must hold st.mu.
+func (st *engineState) bestFor(ext rdf.Term, locs []rdf.Term, threshold float64) (Match, bool) {
+	best := Match{Score: -1}
+	for _, loc := range locs {
+		s := st.score(ext, loc)
+		if s > best.Score || (s == best.Score && loc.Compare(best.Local) < 0) {
+			best = Match{External: ext, Local: loc, Score: s}
+		}
+	}
+	return best, best.Score >= threshold
+}
+
+// TopK scores ext against every candidate in locs and returns up to k
+// matches at or above the threshold, best first under the same total
+// order ScorePairs sorts by. k <= 0 means no limit.
+func (e *Engine) TopK(ext rdf.Term, locs []rdf.Term, k int) []Match {
+	st := e.st
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []Match
+	for _, loc := range locs {
+		if s := st.score(ext, loc); s >= e.cfg.Threshold {
+			out = append(out, Match{External: ext, Local: loc, Score: s})
+		}
+	}
+	sortMatches(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
 	return out
 }
 

@@ -1,0 +1,170 @@
+package linkage
+
+import (
+	"context"
+
+	"repro/internal/par"
+	"repro/internal/rdf"
+)
+
+// PairSource produces candidate pairs one at a time: implementations call
+// yield for each pair and stop when yield returns false. A source lets
+// huge candidate spaces (blocking output, cross products) flow through
+// the engine without ever materializing a [][2]Term.
+type PairSource func(yield func([2]rdf.Term) bool)
+
+// MaterializedPairs adapts an in-memory pair slice to a PairSource.
+func MaterializedPairs(pairs [][2]rdf.Term) PairSource {
+	return func(yield func([2]rdf.Term) bool) {
+		for _, p := range pairs {
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}
+
+// IDPairSource adapts a stream of string-identified record pairs — the
+// shape blocking methods emit (blocking.Streamer) — to a PairSource.
+// resolve maps a record ID to its graph term; pairs where either side
+// resolves to a zero Term are skipped. Example:
+//
+//	src := linkage.IDPairSource(func(yield func(a, b string) bool) {
+//		method.Stream(ext, loc, func(p blocking.Pair) bool { return yield(p.A, p.B) })
+//	}, resolve)
+func IDPairSource(stream func(yield func(a, b string) bool), resolve func(id string) rdf.Term) PairSource {
+	return func(yield func([2]rdf.Term) bool) {
+		stream(func(a, b string) bool {
+			ta, tb := resolve(a), resolve(b)
+			if ta.IsZero() || tb.IsZero() {
+				return true
+			}
+			return yield([2]rdf.Term{ta, tb})
+		})
+	}
+}
+
+// CandidateGroup is one external item's candidate list — one entry of the
+// map LinkBest consumes, in streamable form.
+type CandidateGroup struct {
+	External rdf.Term
+	Locals   []rdf.Term
+}
+
+// GroupSource produces per-item candidate groups, following the contract
+// of PairSource. Each external item must be yielded at most once.
+type GroupSource func(yield func(CandidateGroup) bool)
+
+// streamBatch is the number of source items buffered before a batch is
+// fanned out across the worker pool. Large enough to amortize the
+// fan-out, small enough that memory stays bounded regardless of the
+// source's size.
+const streamBatch = 64 * chunkSize
+
+// StreamPairs scores every pair produced by src across the engine's
+// workers and calls emit for each match at or above the threshold.
+// Matches are emitted in source order — not the score-sorted order of
+// ScorePairs — because sorting would require materializing every match.
+// Memory is bounded by the internal batch size, not by the source.
+//
+// emit returning false stops the stream early (StreamPairs returns nil);
+// a cancelled ctx stops it with ctx.Err(). Emission happens on the
+// calling goroutine, so emit needs no locking. Output is identical for
+// every worker count.
+//
+// The engine's read lock is held per scoring batch, not across the whole
+// stream: src and emit run unlocked (so they may call back into this
+// engine, including Upsert/Remove), concurrent updates are not starved
+// by a long stream, and an update landing mid-stream is visible to
+// every batch scored after it.
+func (e *Engine) StreamPairs(ctx context.Context, src PairSource, emit func(Match) bool) error {
+	st := e.st
+	score := func(p [2]rdf.Term) (Match, bool) {
+		s := st.score(p[0], p[1])
+		return Match{External: p[0], Local: p[1], Score: s}, s >= e.cfg.Threshold
+	}
+	buf := make([][2]rdf.Term, 0, streamBatch)
+	var streamErr error
+	flush := func() bool {
+		st.mu.RLock()
+		ms, err := par.MapChunks(ctx, e.workers(), chunkSize, buf, score)
+		st.mu.RUnlock()
+		if err != nil {
+			streamErr = err
+			return false
+		}
+		for _, m := range ms {
+			if !emit(m) {
+				return false
+			}
+		}
+		buf = buf[:0]
+		return true
+	}
+	done := false
+	src(func(p [2]rdf.Term) bool {
+		buf = append(buf, p)
+		if len(buf) == streamBatch {
+			if !flush() {
+				done = true
+				return false
+			}
+		}
+		return true
+	})
+	if !done && streamErr == nil {
+		flush()
+	}
+	return streamErr
+}
+
+// LinkBestStream is LinkBest over a group source: each yielded item is
+// linked to its best-scoring candidate at or above the threshold, with
+// the per-item searches batched across the worker pool, and the declared
+// links returned sorted. The output is exactly LinkBest's on the map
+// {g.External: g.Locals} — only the peak memory differs: candidate
+// groups are consumed in bounded batches instead of being held at once.
+// Locking follows StreamPairs: the read lock is held per batch, so src
+// may call back into the engine and updates interleave between batches.
+func (e *Engine) LinkBestStream(ctx context.Context, src GroupSource) ([]Match, error) {
+	st := e.st
+	best := func(g CandidateGroup) (Match, bool) {
+		return st.bestFor(g.External, g.Locals, e.cfg.Threshold)
+	}
+	var out []Match
+	var streamErr error
+	// The buffer must hold enough chunks to feed every worker, or the
+	// fan-out inside a flush is capped below Config.Workers.
+	groupBatch := e.workers() * chunkSize * 4
+	if groupBatch > streamBatch {
+		groupBatch = streamBatch
+	}
+	buf := make([]CandidateGroup, 0, groupBatch)
+	flush := func() bool {
+		st.mu.RLock()
+		ms, err := par.MapChunks(ctx, e.workers(), chunkSize, buf, best)
+		st.mu.RUnlock()
+		if err != nil {
+			streamErr = err
+			return false
+		}
+		out = append(out, ms...)
+		buf = buf[:0]
+		return true
+	}
+	src(func(g CandidateGroup) bool {
+		buf = append(buf, g)
+		if len(buf) == cap(buf) {
+			return flush()
+		}
+		return true
+	})
+	if streamErr == nil {
+		flush()
+	}
+	if streamErr != nil {
+		return nil, streamErr
+	}
+	sortMatches(out)
+	return out, nil
+}

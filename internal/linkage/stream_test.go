@@ -1,0 +1,305 @@
+package linkage
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/blocking"
+	"repro/internal/rdf"
+	"repro/internal/similarity"
+)
+
+// streamFixture builds a corpus with enough candidate pairs to span
+// several stream batches, so batching boundaries are actually exercised.
+func streamFixture(t *testing.T) (*Engine, [][2]rdf.Term, map[rdf.Term][]rdf.Term) {
+	t.Helper()
+	se, sl, pairs, cands := seededGraphs(61, 700, 90)
+	if len(pairs) <= streamBatch {
+		t.Fatalf("fixture has %d pairs, need > %d to cross a batch boundary", len(pairs), streamBatch)
+	}
+	cfg := Config{
+		Comparators: []Comparator{
+			{ExternalProperty: pn, LocalProperty: pn, Measure: similarity.Levenshtein{}, Weight: 2},
+			{ExternalProperty: label, LocalProperty: label, Measure: similarity.Jaccard{}, Weight: 1},
+		},
+		Threshold: 0.2,
+		Workers:   1,
+	}
+	eng, err := New(cfg, se, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, pairs, cands
+}
+
+// TestStreamPairsMatchesScorePairs checks that streaming emits exactly
+// the matches ScorePairs keeps — in source order rather than score order
+// — identically at every worker count.
+func TestStreamPairsMatchesScorePairs(t *testing.T) {
+	eng, pairs, _ := streamFixture(t)
+
+	// Expected: the serial input-order walk of the threshold filter.
+	var want []Match
+	for _, p := range pairs {
+		if s := eng.Score(p[0], p[1]); s >= eng.cfg.Threshold {
+			want = append(want, Match{External: p[0], Local: p[1], Score: s})
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("degenerate fixture: no matches")
+	}
+
+	for _, workers := range []int{0, 1, 2, 3, 7} {
+		w, err := eng.WithOptions(eng.cfg.Threshold, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Match
+		if err := w.StreamPairs(context.Background(), MaterializedPairs(pairs), func(m Match) bool {
+			got = append(got, m)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("StreamPairs(workers=%d) differs from serial input-order filter", workers)
+		}
+	}
+
+	// Sorted, the stream equals ScorePairs exactly.
+	sorted := append([]Match(nil), want...)
+	sortMatches(sorted)
+	if got := eng.ScorePairs(pairs); !reflect.DeepEqual(got, sorted) {
+		t.Error("sorted stream output differs from ScorePairs")
+	}
+}
+
+// TestStreamPairsEarlyStop checks that emit returning false stops the
+// stream without error and without draining the source.
+func TestStreamPairsEarlyStop(t *testing.T) {
+	eng, pairs, _ := streamFixture(t)
+	yielded := 0
+	src := func(yield func([2]rdf.Term) bool) {
+		for _, p := range pairs {
+			yielded++
+			if !yield(p) {
+				return
+			}
+		}
+	}
+	var got []Match
+	err := eng.StreamPairs(context.Background(), src, func(m Match) bool {
+		got = append(got, m)
+		return len(got) < 3
+	})
+	if err != nil {
+		t.Fatalf("early stop must not error: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("emitted %d matches, want 3", len(got))
+	}
+	if yielded >= len(pairs) {
+		t.Fatalf("source fully drained (%d pairs) despite early stop", yielded)
+	}
+}
+
+// TestStreamPairsCancellation checks both up-front and mid-stream
+// context cancellation.
+func TestStreamPairsCancellation(t *testing.T) {
+	eng, pairs, _ := streamFixture(t)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := eng.StreamPairs(ctx, MaterializedPairs(pairs), func(Match) bool { return true }); err != context.Canceled {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	emitted := 0
+	err := eng.StreamPairs(ctx2, MaterializedPairs(pairs), func(Match) bool {
+		emitted++
+		cancel2() // cancel after the first batch started emitting
+		return true
+	})
+	if err != context.Canceled {
+		t.Fatalf("mid-stream cancel: err = %v, want context.Canceled", err)
+	}
+	if emitted == 0 {
+		t.Fatal("expected at least one emission before cancellation took effect")
+	}
+}
+
+// TestLinkBestStreamByteIdentical is the acceptance check of the
+// streaming tentpole: LinkBestStream over yielded groups must be
+// byte-identical to materialized LinkBest at every worker count. Run
+// under -race this also exercises the engine's snapshot locking.
+func TestLinkBestStreamByteIdentical(t *testing.T) {
+	eng, _, cands := streamFixture(t)
+	want := eng.LinkBest(cands)
+	if len(want) == 0 {
+		t.Fatal("degenerate fixture: no links")
+	}
+
+	// Yield groups in a fixed but arbitrary order (sorted by item) to
+	// show order-independence of the final result.
+	exts := make([]rdf.Term, 0, len(cands))
+	for ext := range cands {
+		exts = append(exts, ext)
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].Compare(exts[j]) < 0 })
+	src := func(yield func(CandidateGroup) bool) {
+		for _, ext := range exts {
+			if !yield(CandidateGroup{External: ext, Locals: cands[ext]}) {
+				return
+			}
+		}
+	}
+
+	for _, workers := range []int{0, 1, 2, 3, 7} {
+		w, err := eng.WithOptions(eng.cfg.Threshold, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := w.LinkBestStream(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("LinkBestStream(workers=%d) differs from materialized LinkBest", workers)
+		}
+	}
+
+	// Cancellation propagates.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.LinkBestStream(ctx, src); err != context.Canceled {
+		t.Errorf("cancelled LinkBestStream: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamFromBlocking composes a blocking.Streamer with the engine
+// via IDPairSource: candidates flow from standard blocking straight into
+// StreamPairs, and the matches equal scoring the materialized candidate
+// set of the same method.
+func TestStreamFromBlocking(t *testing.T) {
+	se, sl := rdf.NewGraph(), rdf.NewGraph()
+	var extRecs, locRecs []blocking.Record
+	terms := map[string]rdf.Term{}
+	for i := 0; i < 60; i++ {
+		key := fmt.Sprintf("CRCW%03d-%d", i%20, i%7)
+		eid := fmt.Sprintf("http://ex.org/e/%d", i)
+		lid := fmt.Sprintf("http://ex.org/l/%d", i)
+		et, lt := rdf.NewIRI(eid), rdf.NewIRI(lid)
+		se.Add(rdf.T(et, pn, rdf.NewLiteral(key+"E")))
+		sl.Add(rdf.T(lt, pn, rdf.NewLiteral(key+"L")))
+		extRecs = append(extRecs, blocking.Record{ID: eid, Key: key + "E"})
+		locRecs = append(locRecs, blocking.Record{ID: lid, Key: key + "L"})
+		terms[eid], terms[lid] = et, lt
+	}
+	eng, err := New(Config{
+		Comparators: []Comparator{{ExternalProperty: pn, LocalProperty: pn, Measure: similarity.Levenshtein{}, Weight: 1}},
+		Threshold:   0.5,
+	}, se, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	method := blocking.Standard{Key: blocking.PrefixKey(7)}
+	src := IDPairSource(func(yield func(a, b string) bool) {
+		method.Stream(extRecs, locRecs, func(p blocking.Pair) bool { return yield(p.A, p.B) })
+	}, func(id string) rdf.Term { return terms[id] })
+
+	var streamed []Match
+	if err := eng.StreamPairs(context.Background(), src, func(m Match) bool {
+		streamed = append(streamed, m)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) == 0 {
+		t.Fatal("blocking stream produced no matches")
+	}
+
+	// Reference: materialize the same method's pairs and score them.
+	var pairs [][2]rdf.Term
+	for _, p := range method.Pairs(extRecs, locRecs) {
+		pairs = append(pairs, [2]rdf.Term{terms[p.A], terms[p.B]})
+	}
+	want := eng.ScorePairs(pairs)
+	sortMatches(streamed)
+	if !reflect.DeepEqual(streamed, want) {
+		t.Fatalf("streamed %d matches differ from materialized %d", len(streamed), len(want))
+	}
+
+	// Unresolvable IDs are skipped, not scored.
+	sparse := IDPairSource(func(yield func(a, b string) bool) {
+		yield("http://ex.org/e/0", "missing")
+	}, func(id string) rdf.Term { return terms[id] })
+	if err := eng.StreamPairs(context.Background(), sparse, func(Match) bool {
+		t.Fatal("pair with unresolvable side must not be scored")
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamEmitReentrancy checks that emit may call back into the same
+// engine — including taking the write lock via Upsert — because the
+// stream holds the read lock only per scoring batch.
+func TestStreamEmitReentrancy(t *testing.T) {
+	eng, pairs, _ := streamFixture(t)
+	se := eng.st.se
+	n := 0
+	err := eng.StreamPairs(context.Background(), MaterializedPairs(pairs), func(m Match) bool {
+		if n == 0 {
+			// Both a read (Score) and a write (Upsert) from inside emit
+			// must not deadlock.
+			eng.Score(m.External, m.Local)
+			se.Add(rdf.T(m.External, pn, rdf.NewLiteral("REENTRANT")))
+			eng.Upsert(ExternalSide, m.External)
+		}
+		n++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no matches emitted")
+	}
+}
+
+// TestTopK pins ordering, threshold filtering and the k cut.
+func TestTopK(t *testing.T) {
+	se, sl := rdf.NewGraph(), rdf.NewGraph()
+	ext := rdf.NewIRI("http://ex.org/e/x")
+	se.Add(rdf.T(ext, pn, rdf.NewLiteral("ABCDEF")))
+	locs := []rdf.Term{}
+	for i, v := range []string{"ABCDEF", "ABCDEX", "ABCXYZ", "QQQQQQ"} {
+		l := rdf.NewIRI("http://ex.org/l/" + string(rune('a'+i)))
+		sl.Add(rdf.T(l, pn, rdf.NewLiteral(v)))
+		locs = append(locs, l)
+	}
+	eng, err := New(Config{
+		Comparators: []Comparator{{ExternalProperty: pn, LocalProperty: pn, Measure: similarity.Levenshtein{}, Weight: 1}},
+		Threshold:   0.4,
+	}, se, sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := eng.TopK(ext, locs, 0)
+	if len(all) != 3 { // QQQQQQ is below threshold
+		t.Fatalf("TopK(0) kept %d, want 3: %v", len(all), all)
+	}
+	if all[0].Score != 1 || all[0].Local != locs[0] {
+		t.Fatalf("best match wrong: %v", all[0])
+	}
+	if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Score > all[j].Score }) {
+		t.Fatal("TopK not sorted by descending score")
+	}
+	if two := eng.TopK(ext, locs, 2); len(two) != 2 || !reflect.DeepEqual(two, all[:2]) {
+		t.Fatalf("TopK(2) = %v", two)
+	}
+}

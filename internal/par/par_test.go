@@ -1,0 +1,107 @@
+package par
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMapChunksDeterminism pins the core guarantee: every worker count
+// returns exactly the serial filter-map output, in input order.
+func TestMapChunksDeterminism(t *testing.T) {
+	items := make([]int, 1000)
+	for i := range items {
+		items[i] = i
+	}
+	keepOdd := func(v int) (int, bool) { return v * 3, v%2 == 1 }
+	want, err := MapChunks(context.Background(), 1, 16, items, keepOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 500 {
+		t.Fatalf("serial kept %d items, want 500", len(want))
+	}
+	for _, workers := range []int{0, 2, 3, 7, 16, 100} {
+		got, err := MapChunks(context.Background(), workers, 16, items, keepOdd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d output differs from serial", workers)
+		}
+	}
+}
+
+// TestMapChunksSmallInputs covers empty and sub-chunk inputs, which take
+// the serial fast path regardless of the worker count.
+func TestMapChunksSmallInputs(t *testing.T) {
+	if got, err := MapChunks(context.Background(), 8, 64, nil, func(v int) (int, bool) { return v, true }); err != nil || len(got) != 0 {
+		t.Fatalf("empty input: got %v, %v", got, err)
+	}
+	got, err := MapChunks(context.Background(), 8, 64, []int{1, 2, 3}, func(v int) (int, bool) { return v, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("sub-chunk input: got %v", got)
+	}
+}
+
+// TestMapChunksNilContext treats nil like context.Background().
+func TestMapChunksNilContext(t *testing.T) {
+	got, err := MapChunks[int, int](nil, 4, 2, []int{1, 2, 3, 4, 5}, func(v int) (int, bool) { return v, true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestMapChunksCancellation asserts that a cancelled context aborts the
+// fan-out with ctx.Err() and a nil result, both on the parallel and the
+// serial path.
+func TestMapChunksCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 10000)
+	var calls atomic.Int64
+	fn := func(v int) (int, bool) {
+		if calls.Add(1) == 10 {
+			cancel()
+		}
+		return v, true
+	}
+	got, err := MapChunks(ctx, 4, 8, items, fn)
+	if err != context.Canceled {
+		t.Fatalf("parallel: err = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Fatalf("parallel: got %d results after cancellation, want nil", len(got))
+	}
+	if n := calls.Load(); n >= int64(len(items)) {
+		t.Fatalf("parallel: all %d items processed despite cancellation", n)
+	}
+
+	calls.Store(0)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	fn2 := func(v int) (int, bool) {
+		if calls.Add(1) == 10 {
+			cancel2()
+		}
+		return v, true
+	}
+	if _, err := MapChunks(ctx2, 1, 8, items, fn2); err != context.Canceled {
+		t.Fatalf("serial: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWorkers pins the resolution rule.
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("positive count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("non-positive counts must resolve to at least one worker")
+	}
+}

@@ -1,0 +1,386 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	datalink "repro"
+)
+
+// writeJSON encodes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// decode parses a JSON request body strictly (unknown fields are
+// rejected, catching typo'd options early) under the service's size cap.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// parseSide maps the wire name to a Side.
+func parseSide(s string) (datalink.Side, error) {
+	switch s {
+	case "external":
+		return datalink.ExternalSide, nil
+	case "local":
+		return datalink.LocalSide, nil
+	default:
+		return 0, fmt.Errorf("side must be %q or %q, got %q", "external", "local", s)
+	}
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// statusResponse reports corpus and model state.
+type statusResponse struct {
+	ExternalTriples int      `json:"external_triples"`
+	LocalTriples    int      `json:"local_triples"`
+	ExternalVersion uint64   `json:"external_version"`
+	LocalVersion    uint64   `json:"local_version"`
+	TrainingLinks   int      `json:"training_links"`
+	Learned         bool     `json:"learned"`
+	Rules           int      `json:"rules"`
+	Measures        []string `json:"measures"`
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := statusResponse{
+		ExternalTriples: s.se.Len(),
+		LocalTriples:    s.sl.Len(),
+		ExternalVersion: s.se.Version(),
+		LocalVersion:    s.sl.Version(),
+		TrainingLinks:   len(s.links),
+		Learned:         s.pipe != nil,
+		Measures:        MeasureNames(),
+	}
+	if s.pipe != nil {
+		resp.Rules = s.pipe.Model.Rules.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// itemSpec is the wire form of one item description: its IRI, literal
+// property values, and (local side only) its ontology classes.
+type itemSpec struct {
+	ID         string              `json:"id"`
+	Properties map[string][]string `json:"properties"`
+	Classes    []string            `json:"classes,omitempty"`
+}
+
+type upsertRequest struct {
+	Side  string     `json:"side"`
+	Items []itemSpec `json:"items"`
+}
+
+type upsertResponse struct {
+	Upserted int    `json:"upserted"`
+	Version  uint64 `json:"version"`
+}
+
+func (s *Service) handleUpsert(w http.ResponseWriter, r *http.Request) {
+	var req upsertRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	side, err := parseSide(req.Side)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, http.StatusBadRequest, "no items given")
+		return
+	}
+	// Validate the whole batch before touching the graphs, so a 400
+	// response means no data changed.
+	terms := make([]datalink.Term, 0, len(req.Items))
+	for i, it := range req.Items {
+		if it.ID == "" {
+			writeErr(w, http.StatusBadRequest, "item %d: id is required", i)
+			return
+		}
+		term := datalink.NewIRI(it.ID)
+		if err := validateItem(side, term, it.Properties, it.Classes); err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		terms = append(terms, term)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, it := range req.Items {
+		s.replaceItemLocked(side, terms[i], it.Properties, it.Classes)
+	}
+	// Push the mutation into the cached linker incrementally; no full
+	// index rebuild happens on the next link query. Only local-side
+	// changes touch the instance index, so only they re-freeze it.
+	if s.pipe != nil {
+		s.pipe.Upsert(side, terms...)
+		if side == datalink.LocalSide {
+			s.freezeInstancesLocked()
+		}
+	}
+	g := s.se
+	if side == datalink.LocalSide {
+		g = s.sl
+	}
+	writeJSON(w, http.StatusOK, upsertResponse{Upserted: len(req.Items), Version: g.Version()})
+}
+
+type removeRequest struct {
+	Side string   `json:"side"`
+	IDs  []string `json:"ids"`
+}
+
+type removeResponse struct {
+	Removed int    `json:"removed"`
+	Version uint64 `json:"version"`
+}
+
+func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
+	var req removeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	side, err := parseSide(req.Side)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeErr(w, http.StatusBadRequest, "no ids given")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.se
+	if side == datalink.LocalSide {
+		g = s.sl
+	}
+	terms := make([]datalink.Term, 0, len(req.IDs))
+	removed := 0
+	for _, id := range req.IDs {
+		item := datalink.NewIRI(id)
+		terms = append(terms, item)
+		trs := g.Find(item, datalink.Term{}, datalink.Term{})
+		for _, tr := range trs {
+			g.Remove(tr)
+		}
+		if len(trs) > 0 {
+			removed++
+		}
+	}
+	if s.pipe != nil {
+		s.pipe.RemoveItems(side, terms...)
+		if side == datalink.LocalSide {
+			s.freezeInstancesLocked()
+		}
+	}
+	writeJSON(w, http.StatusOK, removeResponse{Removed: removed, Version: g.Version()})
+}
+
+// linkSpec is the wire form of one labeled same-as link.
+type linkSpec struct {
+	External string `json:"external"`
+	Local    string `json:"local"`
+}
+
+type learnRequest struct {
+	Links []linkSpec `json:"links"`
+	// Replace discards previously accumulated links instead of extending
+	// them.
+	Replace bool `json:"replace,omitempty"`
+}
+
+type learnResponse struct {
+	TrainingLinks int `json:"training_links"`
+	Rules         int `json:"rules"`
+	Segments      int `json:"segments"`
+}
+
+func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
+	var req learnRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	links := make([]datalink.Link, 0, len(req.Links))
+	for i, l := range req.Links {
+		if l.External == "" || l.Local == "" {
+			writeErr(w, http.StatusBadRequest, "link %d: external and local are required", i)
+			return
+		}
+		links = append(links, datalink.Link{
+			External: datalink.NewIRI(l.External),
+			Local:    datalink.NewIRI(l.Local),
+		})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.links
+	if req.Replace {
+		s.links = links
+	} else {
+		s.links = append(append([]datalink.Link(nil), s.links...), links...)
+	}
+	if err := s.learnLocked(); err != nil {
+		s.links = prev // learning failed; keep the old state queryable
+		writeErr(w, http.StatusBadRequest, "learning: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, learnResponse{
+		TrainingLinks: len(s.links),
+		Rules:         s.pipe.Model.Rules.Len(),
+		Segments:      s.pipe.Model.Stats.DistinctSegments,
+	})
+}
+
+// ruleJSON is the wire form of one learned rule.
+type ruleJSON struct {
+	Property   string  `json:"property"`
+	Segment    string  `json:"segment"`
+	Class      string  `json:"class"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+	Lift       float64 `json:"lift"`
+	Text       string  `json:"text"`
+}
+
+func (s *Service) handleRules(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.pipe == nil {
+		writeErr(w, http.StatusConflict, "no model learned yet; POST /v1/learn first")
+		return
+	}
+	rules := s.pipe.Model.Rules.Rules
+	out := make([]ruleJSON, 0, len(rules))
+	for _, rl := range rules {
+		out = append(out, ruleJSON{
+			Property:   rl.Property.Value,
+			Segment:    rl.Segment,
+			Class:      rl.Class.Value,
+			Support:    rl.Support(),
+			Confidence: rl.Confidence(),
+			Lift:       rl.Lift(),
+			Text:       rl.String(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rules": out})
+}
+
+type linkRequest struct {
+	// Items restricts the query; empty means every external item.
+	Items []string `json:"items"`
+	// Threshold overrides the default linker threshold when set.
+	Threshold *float64 `json:"threshold,omitempty"`
+	// Workers overrides the scoring fan-out when set; 0 means all cores.
+	Workers *int `json:"workers,omitempty"`
+	// TopK caps the matches returned per item; 0 means all above the
+	// threshold.
+	TopK int `json:"top_k,omitempty"`
+	// Comparators override Options.DefaultLinker's comparators.
+	Comparators []comparatorSpec `json:"comparators,omitempty"`
+}
+
+type matchJSON struct {
+	Local string  `json:"local"`
+	Score float64 `json:"score"`
+}
+
+type linkResult struct {
+	Item    string      `json:"item"`
+	Matches []matchJSON `json:"matches"`
+}
+
+type linkResponse struct {
+	Results []linkResult `json:"results"`
+}
+
+func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
+	var req linkRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.pipe == nil {
+		writeErr(w, http.StatusConflict, "no model learned yet; POST /v1/learn first")
+		return
+	}
+	cfg := s.opts.DefaultLinker
+	if len(req.Comparators) > 0 {
+		comps, err := compileComparators(req.Comparators)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		cfg.Comparators = comps
+	}
+	if len(cfg.Comparators) == 0 {
+		writeErr(w, http.StatusBadRequest, "no comparators: set them in the request or configure a default linker")
+		return
+	}
+	if req.Threshold != nil {
+		cfg.Threshold = *req.Threshold
+	}
+	if req.Workers != nil {
+		cfg.Workers = *req.Workers
+	}
+	var items []datalink.Term
+	if len(req.Items) > 0 {
+		items = make([]datalink.Term, 0, len(req.Items))
+		for _, id := range req.Items {
+			items = append(items, datalink.NewIRI(id))
+		}
+	} else {
+		items = s.se.AllSubjects()
+	}
+	// The request context threads through the engine's worker pool: a
+	// dropped connection cancels in-flight scoring.
+	topk, err := s.pipe.LinkTopK(r.Context(), items, cfg, req.TopK)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeErr(w, 499, "request cancelled: %v", err) // 499: client closed request
+			return
+		}
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	results := make([]linkResult, 0, len(topk))
+	for item, ms := range topk {
+		lr := linkResult{Item: item.Value, Matches: make([]matchJSON, 0, len(ms))}
+		for _, m := range ms {
+			lr.Matches = append(lr.Matches, matchJSON{Local: m.Local.Value, Score: m.Score})
+		}
+		results = append(results, lr)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Item < results[j].Item })
+	writeJSON(w, http.StatusOK, linkResponse{Results: results})
+}

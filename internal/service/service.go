@@ -1,0 +1,178 @@
+// Package service exposes the linking pipeline as a long-lived HTTP/JSON
+// service: load and mutate item descriptions, learn classification rules
+// from labeled links, and query top-k links inside the rule-reduced
+// space — without ever rebuilding the matcher's value index from scratch
+// between requests.
+//
+// The service owns the external graph (SE), the local catalog (SL) and
+// the ontology. Item mutations go through the graphs and are pushed into
+// the cached linkage engine incrementally (Pipeline.Upsert/RemoveItems),
+// so the matcher's value index is never rebuilt between requests:
+// external-side updates cost O(item); local-side updates additionally
+// refresh the instance index (one pass over the catalog's rdf:type
+// triples — cheap next to the value index, but not yet per-item). Link
+// queries run under the request's context, so a dropped connection
+// cancels in-flight scoring.
+//
+// # Endpoints
+//
+//	GET  /healthz           liveness probe
+//	GET  /v1/status         corpus sizes, versions, model state
+//	POST /v1/items/upsert   replace item descriptions on one side
+//	POST /v1/items/remove   remove items from one side
+//	POST /v1/learn          learn rules from labeled same-as links
+//	GET  /v1/rules          the learned rule set
+//	POST /v1/link           top-k links for items, in their reduced space
+//
+// See examples/service for a runnable walkthrough.
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+
+	datalink "repro"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Learner parameterizes rule learning; the zero value is the paper's
+	// defaults.
+	Learner datalink.LearnerConfig
+	// DefaultLinker is used by link requests that do not carry their own
+	// comparators. Leaving it zero makes comparators mandatory per
+	// request.
+	DefaultLinker datalink.LinkerConfig
+	// MaxBodyBytes caps request bodies; 0 means 8 MiB.
+	MaxBodyBytes int64
+}
+
+// Service is the shared state behind the HTTP API. All handler access is
+// guarded by mu: mutations (items, learn) take the write lock, queries
+// (status, rules, link) the read lock. The linkage engine underneath has
+// its own finer-grained locking, but the service-level lock is what
+// keeps graph mutation — which rdf.Graph does not support concurrently —
+// serialized against readers.
+type Service struct {
+	opts Options
+
+	mu    sync.RWMutex
+	se    *datalink.Graph
+	sl    *datalink.Graph
+	ol    *datalink.Ontology
+	links []datalink.Link
+	pipe  *datalink.Pipeline
+}
+
+// New builds a service over the given graphs and ontology; nil arguments
+// start empty. The graphs must not be mutated behind the service's back
+// afterwards.
+func New(se, sl *datalink.Graph, ol *datalink.Ontology, opts Options) *Service {
+	if se == nil {
+		se = datalink.NewGraph()
+	}
+	if sl == nil {
+		sl = datalink.NewGraph()
+	}
+	if ol == nil {
+		ol = datalink.NewOntology()
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	return &Service{opts: opts, se: se, sl: sl, ol: ol}
+}
+
+// LearnLinks appends labeled links and relearns the model — the
+// programmatic equivalent of POST /v1/learn, for seeding a service with
+// an existing training set at startup.
+func (s *Service) LearnLinks(links []datalink.Link) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.links = append(s.links, links...)
+	return s.learnLocked()
+}
+
+// Learn (re)learns the model from the accumulated links and swaps in a
+// fresh pipeline. Callers must hold the write lock.
+func (s *Service) learnLocked() error {
+	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), s.links...)}
+	p, err := datalink.NewPipeline(s.opts.Learner, ts, s.se, s.sl, s.ol)
+	if err != nil {
+		return err
+	}
+	s.pipe = p
+	s.freezeInstancesLocked()
+	return nil
+}
+
+// freezeInstancesLocked warms the instance index for every rule class,
+// so concurrent link queries only read the memo — the index memoizes
+// lazily and is not safe for concurrent first-touch otherwise.
+func (s *Service) freezeInstancesLocked() {
+	if s.pipe == nil {
+		return
+	}
+	classes := make([]datalink.Term, 0, s.pipe.Model.Rules.Len())
+	for _, r := range s.pipe.Model.Rules.Rules {
+		classes = append(classes, r.Class)
+	}
+	s.pipe.Instances.Freeze(classes)
+}
+
+// validateItem rejects malformed item descriptions. Run before any graph
+// mutation, so a 400 response guarantees nothing was changed.
+func validateItem(side datalink.Side, item datalink.Term, props map[string][]string, classes []string) error {
+	for prop := range props {
+		if prop == "" {
+			return fmt.Errorf("item %s: empty property IRI", item.Value)
+		}
+	}
+	if side != datalink.LocalSide && len(classes) > 0 {
+		return fmt.Errorf("item %s: classes are only accepted on the local side", item.Value)
+	}
+	for _, c := range classes {
+		if c == "" {
+			return fmt.Errorf("item %s: empty class IRI", item.Value)
+		}
+	}
+	return nil
+}
+
+// replaceItem swaps an item's triples for the given (already validated)
+// description on one side of the corpus. Callers must hold the write
+// lock.
+func (s *Service) replaceItemLocked(side datalink.Side, item datalink.Term, props map[string][]string, classes []string) {
+	g := s.se
+	if side == datalink.LocalSide {
+		g = s.sl
+	}
+	for _, tr := range g.Find(item, datalink.Term{}, datalink.Term{}) {
+		g.Remove(tr)
+	}
+	for prop, vals := range props {
+		p := datalink.NewIRI(prop)
+		for _, v := range vals {
+			g.Add(datalink.T(item, p, datalink.NewLiteral(v)))
+		}
+	}
+	if side == datalink.LocalSide {
+		for _, c := range classes {
+			g.Add(datalink.T(item, datalink.RDFType, datalink.NewIRI(c)))
+		}
+	}
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/items/upsert", s.handleUpsert)
+	mux.HandleFunc("POST /v1/items/remove", s.handleRemove)
+	mux.HandleFunc("POST /v1/learn", s.handleLearn)
+	mux.HandleFunc("GET /v1/rules", s.handleRules)
+	mux.HandleFunc("POST /v1/link", s.handleLink)
+	return mux
+}

@@ -1,12 +1,14 @@
 package datalink
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/linkage"
+	"repro/internal/par"
 	"repro/internal/similarity"
 )
 
@@ -22,6 +24,28 @@ type LinkerConfig = linkage.Config
 
 // Match is a declared same-as link with its score.
 type Match = linkage.Match
+
+// Side selects the external or local source of an item, for incremental
+// index maintenance.
+type Side = linkage.Side
+
+// Side values.
+const (
+	// ExternalSide addresses items of the external graph (SE).
+	ExternalSide = linkage.ExternalSide
+	// LocalSide addresses items of the local catalog graph (SL).
+	LocalSide = linkage.LocalSide
+)
+
+// PairSource streams candidate pairs into a matcher without
+// materializing them.
+type PairSource = linkage.PairSource
+
+// CandidateGroup is one external item's streamable candidate list.
+type CandidateGroup = linkage.CandidateGroup
+
+// GroupSource streams per-item candidate groups into a matcher.
+type GroupSource = linkage.GroupSource
 
 // LinkResult is the confusion summary of declared links vs ground truth.
 type LinkResult = linkage.Result
@@ -46,6 +70,14 @@ func EvaluateLinks(found []Match, truth []Link) LinkResult {
 // Pipeline wires the full flow of the paper: learn rules from TS, then
 // for each new external item predict classes, build the reduced linking
 // space, and (optionally) run a matcher inside it.
+//
+// Concurrency: queries (Classify, ReducedSpace, LinkWithin, LinkTopK)
+// may run concurrently with each other only after the instance index is
+// warmed (InstanceIndex memoizes lazily; see InstanceIndex.Freeze). The
+// mutation methods (Upsert, RemoveItems, RefreshInstances) must be
+// serialized against queries by the caller — internal/service does this
+// with an RWMutex. Only the linkage engine underneath is safe for
+// unsynchronized query-under-update.
 type Pipeline struct {
 	Model      *Model
 	Classifier *Classifier
@@ -53,15 +85,16 @@ type Pipeline struct {
 
 	se *Graph
 	sl *Graph
+	ol *Ontology
 
 	// linker caches the value-indexed engine of the last LinkWithin
 	// config: repeated calls (incremental per-item linking) reuse the
-	// index instead of re-snapshotting both graphs. The cached graph
-	// versions invalidate the index when either graph is mutated.
+	// index instead of re-snapshotting both graphs. The engine itself
+	// tracks the graph versions its index reflects; Upsert keeps it
+	// current item-by-item, so a live graph never forces a rebuild.
 	linkerMu  sync.Mutex
 	linker    *linkage.Engine
 	linkerCfg LinkerConfig
-	linkerVer [2]uint64
 }
 
 // NewPipeline learns a model and prepares the classifier and instance
@@ -77,6 +110,7 @@ func NewPipeline(cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology)
 		Instances:  NewInstanceIndex(sl, ol),
 		se:         se,
 		sl:         sl,
+		ol:         ol,
 	}, nil
 }
 
@@ -98,34 +132,138 @@ func (p *Pipeline) ReducedSpace(item Term) SpaceReport {
 // cfg.Workers goroutines (0 = all cores); results are deterministic for
 // every worker count.
 func (p *Pipeline) LinkWithin(items []Term, cfg LinkerConfig) ([]Match, error) {
+	return p.LinkWithinCtx(context.Background(), items, cfg)
+}
+
+// LinkWithinCtx is LinkWithin with cooperative cancellation: a cancelled
+// ctx stops in-flight scoring (within one work chunk per worker) and
+// returns ctx.Err() — the path a dropped service request takes.
+func (p *Pipeline) LinkWithinCtx(ctx context.Context, items []Term, cfg LinkerConfig) ([]Match, error) {
 	eng, err := p.linkerFor(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("datalink: building linker: %w", err)
 	}
 	cands := map[Term][]Term{}
 	for _, item := range items {
-		sr := p.ReducedSpace(item)
-		pairs := core.CandidatePairs(sr, p.Instances)
-		for _, pr := range pairs {
-			cands[item] = append(cands[item], pr[1])
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
+		cands[item] = p.candidatesOf(item)
 	}
-	return eng.LinkBest(cands), nil
+	return eng.LinkBestCtx(ctx, cands)
+}
+
+// LinkTopK returns, for every item, its k best-scoring candidates at or
+// above cfg.Threshold inside the item's reduced linking space (k <= 0
+// means all). The per-item slices follow the engine's match order.
+// Candidate expansion (classification) runs serially; the scoring stage
+// fans out across cfg.Workers goroutines.
+func (p *Pipeline) LinkTopK(ctx context.Context, items []Term, cfg LinkerConfig, k int) (map[Term][]Match, error) {
+	eng, err := p.linkerFor(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("datalink: building linker: %w", err)
+	}
+	// The classifier and instance index are not safe for concurrent
+	// first-touch, so the reduced spaces are expanded on this goroutine.
+	type itemCands struct {
+		item Term
+		locs []Term
+	}
+	cands := make([]itemCands, 0, len(items))
+	for _, item := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cands = append(cands, itemCands{item: item, locs: p.candidatesOf(item)})
+	}
+	type itemMatches struct {
+		item Term
+		ms   []Match
+	}
+	scored, err := par.MapChunks(ctx, par.Workers(cfg.Workers), 0, cands, func(c itemCands) (itemMatches, bool) {
+		return itemMatches{item: c.item, ms: eng.TopK(c.item, c.locs, k)}, true
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Term][]Match, len(scored))
+	for _, im := range scored {
+		out[im.item] = im.ms
+	}
+	return out, nil
+}
+
+// candidatesOf expands one item's reduced space into its local
+// candidates.
+func (p *Pipeline) candidatesOf(item Term) []Term {
+	sr := p.ReducedSpace(item)
+	pairs := core.CandidatePairs(sr, p.Instances)
+	locs := make([]Term, 0, len(pairs))
+	for _, pr := range pairs {
+		locs = append(locs, pr[1])
+	}
+	return locs
+}
+
+// Upsert re-indexes the given items in the cached linker after the
+// caller mutated the pipeline's graphs, so the next LinkWithin reuses
+// the value index instead of rebuilding it. Local-side changes also
+// refresh the instance index (a class's instance set may have changed).
+// A no-op for sides the cached linker does not exist for yet — the first
+// LinkWithin then builds a current index anyway.
+//
+// The contract is all-or-nothing per mutation span: one Upsert call must
+// list every item whose triples changed since the last Upsert, because
+// the linker marks itself current with the graph's version counter —
+// items mutated but not listed would stay stale without triggering a
+// rebuild, silently.
+func (p *Pipeline) Upsert(side Side, items ...Term) {
+	p.linkerMu.Lock()
+	if p.linker != nil {
+		p.linker.Upsert(side, items...)
+	}
+	p.linkerMu.Unlock()
+	if side == LocalSide {
+		p.RefreshInstances()
+	}
+}
+
+// RemoveItems drops the items from the cached linker's index on the
+// given side (and refreshes the instance index for local-side removals).
+// Unlike Upsert it never re-reads the graphs, so it also soft-deletes
+// items whose triples are still present.
+func (p *Pipeline) RemoveItems(side Side, items ...Term) {
+	p.linkerMu.Lock()
+	if p.linker != nil {
+		p.linker.Remove(side, items...)
+	}
+	p.linkerMu.Unlock()
+	if side == LocalSide {
+		p.RefreshInstances()
+	}
+}
+
+// RefreshInstances rebuilds the instance index from the current local
+// graph — required after rdf:type facts change. Cheap relative to the
+// value index (one pass over the type triples, no tokenization).
+func (p *Pipeline) RefreshInstances() {
+	p.Instances = NewInstanceIndex(p.sl, p.ol)
 }
 
 // linkerFor returns the engine for cfg, reusing the cached value index
 // when possible: unchanged config hits the cache outright, and a config
 // differing only in threshold or worker count shares the cached index
-// via WithOptions. A comparator change or a mutation of either graph
-// since the index was built forces a rebuild. Comparators are compared
-// with reflect.DeepEqual, which is always false for measures carrying
-// function values (similarity.Func closures): those configs still work
-// but rebuild the index every call, like the pre-cache engine did.
+// via WithOptions. A comparator change forces a rebuild, as does a graph
+// mutation the engine was not told about via Upsert/RemoveItems (the
+// engine tracks the graph versions its index reflects). Comparators are
+// compared with reflect.DeepEqual, which is always false for measures
+// carrying function values (similarity.Func closures): those configs
+// still work but rebuild the index every call, like the pre-cache engine
+// did.
 func (p *Pipeline) linkerFor(cfg LinkerConfig) (*linkage.Engine, error) {
 	p.linkerMu.Lock()
 	defer p.linkerMu.Unlock()
-	fresh := p.linkerVer == [2]uint64{p.se.Version(), p.sl.Version()}
-	if p.linker != nil && fresh && reflect.DeepEqual(cfg.Comparators, p.linkerCfg.Comparators) {
+	if p.linker != nil && p.linker.Fresh() && reflect.DeepEqual(cfg.Comparators, p.linkerCfg.Comparators) {
 		if cfg.Threshold == p.linkerCfg.Threshold && cfg.Workers == p.linkerCfg.Workers {
 			return p.linker, nil
 		}
@@ -143,7 +281,6 @@ func (p *Pipeline) linkerFor(cfg LinkerConfig) (*linkage.Engine, error) {
 	}
 	p.linker = eng
 	p.storeLinkerCfg(cfg)
-	p.linkerVer = [2]uint64{p.se.Version(), p.sl.Version()}
 	return eng, nil
 }
 
