@@ -518,6 +518,132 @@ func BenchmarkStreamPairs(b *testing.B) {
 	})
 }
 
+// --- snapshot-isolation benchmarks: the cost of publishing a frozen
+// query view after a mutation, vs the deep copy it replaces, and the
+// cost of one incremental instance-index update vs the full rebuild. ---
+
+// snapshotBenchGraph is a mutating-service-shaped graph: one mutation
+// lands, then a fresh point-in-time view is needed for queries.
+func snapshotBenchGraph() (*rdf.Graph, []rdf.Triple) {
+	se, _, _, _ := linkageBenchFixture(2000, 2000, 1)
+	toggles := make([]rdf.Triple, 256)
+	pnProp := rdf.NewIRI("http://ex.org/pn")
+	for i := range toggles {
+		toggles[i] = rdf.T(
+			rdf.NewIRI(fmt.Sprintf("http://ex.org/e/%d", i)),
+			pnProp,
+			rdf.NewLiteral(fmt.Sprintf("TOGGLE-%d", i)),
+		)
+	}
+	return se, toggles
+}
+
+// BenchmarkSnapshot measures one mutate-then-snapshot cycle: the
+// copy-on-write snapshot is O(1) and the mutation path-copies only the
+// buckets it touches (plus one pointer-shallow top-level map copy per
+// cycle). Compare with BenchmarkSnapshotFullClone, the deep copy a
+// snapshotless design pays for the same isolation; the acceptance bar
+// is orders of magnitude.
+func BenchmarkSnapshot(b *testing.B) {
+	g, toggles := snapshotBenchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := toggles[i%len(toggles)]
+		if !g.Add(tr) {
+			g.Remove(tr)
+		}
+		if snap := g.Snapshot(); snap.Len() == 0 || !snap.Frozen() {
+			b.Fatal("bad snapshot")
+		}
+	}
+}
+
+// BenchmarkSnapshotFullClone applies the same single mutation but deep
+// copies the whole graph for the frozen view.
+func BenchmarkSnapshotFullClone(b *testing.B) {
+	g, toggles := snapshotBenchGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := toggles[i%len(toggles)]
+		if !g.Add(tr) {
+			g.Remove(tr)
+		}
+		if c := g.Clone(); c.Len() == 0 {
+			b.Fatal("bad clone")
+		}
+	}
+}
+
+// instanceBenchFixture is a typed catalog: nInst instances spread over a
+// two-level hierarchy of nClasses leaf classes under one root.
+func instanceBenchFixture(nInst, nClasses int) (*rdf.Graph, *Ontology, []Term) {
+	sl := rdf.NewGraph()
+	ol := NewOntology()
+	root := NewIRI("http://ex.org/onto#Part")
+	ol.AddClass(root)
+	classes := make([]Term, nClasses)
+	for i := range classes {
+		classes[i] = NewIRI(fmt.Sprintf("http://ex.org/onto#C%d", i))
+		ol.AddClass(classes[i])
+		ol.AddSubClassOf(classes[i], root)
+	}
+	for i := 0; i < nInst; i++ {
+		sl.Add(rdf.T(
+			NewIRI(fmt.Sprintf("http://ex.org/l/%d", i)),
+			RDFType,
+			classes[i%nClasses],
+		))
+	}
+	return sl, ol, classes
+}
+
+// BenchmarkInstanceUpsert is the cost of keeping the instance index
+// current when one local item changes class: a per-item incremental
+// update. Compare with BenchmarkInstanceUpsertFullRebuild, the full
+// NewInstanceIndex pass the service paid per upsert before; the
+// acceptance bar is >= 10x.
+func BenchmarkInstanceUpsert(b *testing.B) {
+	const nInst, nClasses = 10000, 50
+	sl, ol, classes := instanceBenchFixture(nInst, nClasses)
+	ix := NewInstanceIndex(sl, ol)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		item := NewIRI(fmt.Sprintf("http://ex.org/l/%d", i%nInst))
+		for _, tr := range sl.Find(item, RDFType, Term{}) {
+			sl.Remove(tr)
+		}
+		next := classes[(i+1)%nClasses]
+		sl.Add(T(item, RDFType, next))
+		ix.UpsertInstance(item, []Term{next})
+	}
+	if ix.Total() != nInst {
+		b.Fatalf("index drifted: %d instances, want %d", ix.Total(), nInst)
+	}
+}
+
+// BenchmarkInstanceUpsertFullRebuild applies the same single-item class
+// change but rebuilds the whole index, the only option before
+// incremental maintenance existed.
+func BenchmarkInstanceUpsertFullRebuild(b *testing.B) {
+	const nInst, nClasses = 10000, 50
+	sl, ol, classes := instanceBenchFixture(nInst, nClasses)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		item := NewIRI(fmt.Sprintf("http://ex.org/l/%d", i%nInst))
+		for _, tr := range sl.Find(item, RDFType, Term{}) {
+			sl.Remove(tr)
+		}
+		sl.Add(T(item, RDFType, classes[(i+1)%nClasses]))
+		if ix := NewInstanceIndex(sl, ol); ix.Total() != nInst {
+			b.Fatalf("index drifted: %d instances, want %d", ix.Total(), nInst)
+		}
+	}
+}
+
 func BenchmarkLevenshtein(b *testing.B) {
 	m := similarity.Levenshtein{}
 	b.ReportAllocs()

@@ -1,10 +1,12 @@
 package blocking
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"repro/internal/par"
 	"repro/internal/similarity"
 )
 
@@ -18,6 +20,10 @@ type SortedNeighborhood struct {
 	Window int
 	// Key derives the sorting key; nil uses the record key lower-cased.
 	Key KeyFunc
+	// Workers fans the per-record key derivation out across goroutines;
+	// 0 means all cores, 1 forces serial. The candidate set is identical
+	// for every worker count (the merged sort stays sequential).
+	Workers int
 }
 
 // sortedEntry tags each record with its source for the merged sort.
@@ -27,17 +33,21 @@ type sortedEntry struct {
 	external bool
 }
 
-func mergedSorted(external, local []Record, key KeyFunc) []sortedEntry {
+func mergedSorted(external, local []Record, key KeyFunc, workers int) []sortedEntry {
 	if key == nil {
 		key = func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
 	}
+	entryFor := func(ext bool) func(Record) (sortedEntry, bool) {
+		return func(r Record) (sortedEntry, bool) {
+			return sortedEntry{id: r.ID, key: key(r.Key), external: ext}, true
+		}
+	}
+	ctx := context.Background()
+	extEntries, _ := par.MapChunks(ctx, workers, 0, external, entryFor(true))
+	locEntries, _ := par.MapChunks(ctx, workers, 0, local, entryFor(false))
 	entries := make([]sortedEntry, 0, len(external)+len(local))
-	for _, r := range external {
-		entries = append(entries, sortedEntry{id: r.ID, key: key(r.Key), external: true})
-	}
-	for _, r := range local {
-		entries = append(entries, sortedEntry{id: r.ID, key: key(r.Key), external: false})
-	}
+	entries = append(entries, extEntries...)
+	entries = append(entries, locEntries...)
 	sort.Slice(entries, func(i, j int) bool {
 		if entries[i].key != entries[j].key {
 			return entries[i].key < entries[j].key
@@ -51,30 +61,55 @@ func mergedSorted(external, local []Record, key KeyFunc) []sortedEntry {
 	return entries
 }
 
-// Pairs implements Method.
+// crossPair orients two window-mates as an (external, local) pair,
+// reporting false for same-source mates.
+func crossPair(a, b sortedEntry) (Pair, bool) {
+	switch {
+	case a.external && !b.external:
+		return Pair{A: a.id, B: b.id}, true
+	case !a.external && b.external:
+		return Pair{A: b.id, B: a.id}, true
+	default:
+		return Pair{}, false
+	}
+}
+
+// Pairs implements Method, by draining Stream into the deduplicated
+// sorted pair set — one implementation, two consumption modes, matching
+// Standard.
 func (sn SortedNeighborhood) Pairs(external, local []Record) []Pair {
+	ps := pairSet{}
+	sn.Stream(external, local, func(p Pair) bool {
+		ps[p] = struct{}{}
+		return true
+	})
+	return ps.slice()
+}
+
+// Stream implements Streamer: the window slides over the merged sorted
+// list and cross-source pairs flow through yield without the pair set
+// materializing. Each unordered entry pair co-resides in exactly one
+// window start, so every pair is emitted exactly once (records with
+// distinct IDs), in sorted-list order.
+func (sn SortedNeighborhood) Stream(external, local []Record, yield func(Pair) bool) {
 	w := sn.Window
 	if w < 2 {
 		w = 2
 	}
-	entries := mergedSorted(external, local, sn.Key)
-	ps := pairSet{}
+	entries := mergedSorted(external, local, sn.Key, sn.Workers)
 	for i := range entries {
 		hi := i + w
 		if hi > len(entries) {
 			hi = len(entries)
 		}
 		for j := i + 1; j < hi; j++ {
-			a, b := entries[i], entries[j]
-			switch {
-			case a.external && !b.external:
-				ps.add(a.id, b.id)
-			case !a.external && b.external:
-				ps.add(b.id, a.id)
+			if p, ok := crossPair(entries[i], entries[j]); ok {
+				if !yield(p) {
+					return
+				}
 			}
 		}
 	}
-	return ps.slice()
 }
 
 // Name implements Method.
@@ -101,10 +136,24 @@ type AdaptiveSortedNeighborhood struct {
 	Key KeyFunc
 	// Sim scores adjacent keys; nil means Jaro-Winkler.
 	Sim similarity.Measure
+	// Workers fans the per-record key derivation out across goroutines;
+	// 0 means all cores, 1 forces serial.
+	Workers int
 }
 
-// Pairs implements Method.
+// Pairs implements Method, by draining Stream like SortedNeighborhood.
 func (asn AdaptiveSortedNeighborhood) Pairs(external, local []Record) []Pair {
+	ps := pairSet{}
+	asn.Stream(external, local, func(p Pair) bool {
+		ps[p] = struct{}{}
+		return true
+	})
+	return ps.slice()
+}
+
+// Stream implements Streamer: blocks are disjoint spans of the sorted
+// list, so each cross-source pair flows through yield exactly once.
+func (asn AdaptiveSortedNeighborhood) Stream(external, local []Record, yield func(Pair) bool) {
 	threshold := asn.Threshold
 	if threshold == 0 {
 		threshold = 0.8
@@ -117,20 +166,18 @@ func (asn AdaptiveSortedNeighborhood) Pairs(external, local []Record) []Pair {
 	if sim == nil {
 		sim = similarity.JaroWinkler{}
 	}
-	entries := mergedSorted(external, local, asn.Key)
-	ps := pairSet{}
-	emit := func(block []sortedEntry) {
+	entries := mergedSorted(external, local, asn.Key, asn.Workers)
+	emit := func(block []sortedEntry) bool {
 		for i := range block {
 			for j := i + 1; j < len(block); j++ {
-				a, b := block[i], block[j]
-				switch {
-				case a.external && !b.external:
-					ps.add(a.id, b.id)
-				case !a.external && b.external:
-					ps.add(b.id, a.id)
+				if p, ok := crossPair(block[i], block[j]); ok {
+					if !yield(p) {
+						return false
+					}
 				}
 			}
 		}
+		return true
 	}
 	var block []sortedEntry
 	for i, e := range entries {
@@ -139,13 +186,14 @@ func (asn AdaptiveSortedNeighborhood) Pairs(external, local []Record) []Pair {
 			continue
 		}
 		if len(block) >= maxBlock || sim.Similarity(entries[i-1].key, e.key) < threshold {
-			emit(block)
+			if !emit(block) {
+				return
+			}
 			block = block[:0]
 		}
 		block = append(block, e)
 	}
 	emit(block)
-	return ps.slice()
 }
 
 // Name implements Method.
@@ -158,6 +206,6 @@ func (asn AdaptiveSortedNeighborhood) Name() string {
 }
 
 var (
-	_ Method = SortedNeighborhood{}
-	_ Method = AdaptiveSortedNeighborhood{}
+	_ Streamer = SortedNeighborhood{}
+	_ Streamer = AdaptiveSortedNeighborhood{}
 )

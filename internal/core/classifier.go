@@ -170,40 +170,192 @@ func (c *Classifier) FiredRules(segments map[rdf.Term][]string) []Rule {
 // InstanceIndex resolves a class to its instance set in SL, including
 // instances of all subclasses, with memoization. It also knows the total
 // number of typed instances, the denominator of space-reduction factors.
-// Build once per catalog; safe for concurrent reads after warm-up via
-// Freeze, or use from a single goroutine.
+//
+// The index is incrementally maintainable: UpsertInstance and
+// RemoveInstance update the sorted per-class slices in place and
+// invalidate only the memo entries of the affected classes and their
+// ancestors, so a catalog mutation costs O(classes of the item) instead
+// of the full NewInstanceIndex pass over every rdf:type triple.
+//
+// Concurrency: a live index must be confined to one goroutine (or the
+// caller's write lock). Snapshot returns a frozen view that is safe for
+// unsynchronized concurrent readers while the live index keeps mutating
+// — the sharing contract mirrors rdf.Graph.Snapshot.
 type InstanceIndex struct {
+	// direct maps a class to its sorted direct instances. Slices are
+	// treated as immutable values: updates install a fresh slice, so a
+	// snapshot sharing the old one never tears.
 	direct map[rdf.Term][]rdf.Term
-	ont    *ontology.Ontology
-	total  int
-	memo   map[rdf.Term][]rdf.Term
+	// types is the reverse map (instance -> its direct classes), the
+	// state that makes diff-based upserts possible. Only the live index
+	// reads it, so snapshots share it without copying.
+	types map[rdf.Term][]rdf.Term
+	ont   *ontology.Ontology
+	total int
+	memo  map[rdf.Term][]rdf.Term
+	// frozen marks a snapshot: mutations panic and memo misses compute
+	// without writing, keeping concurrent reads safe.
+	frozen bool
+	// sharedDirect/sharedMemo record that a snapshot still shares the
+	// respective map header; the next mutation shallow-copies it first.
+	sharedDirect bool
+	sharedMemo   bool
 }
 
 // NewInstanceIndex scans the rdf:type triples of sl.
 func NewInstanceIndex(sl *rdf.Graph, ol *ontology.Ontology) *InstanceIndex {
 	ix := &InstanceIndex{
 		direct: map[rdf.Term][]rdf.Term{},
+		types:  map[rdf.Term][]rdf.Term{},
 		ont:    ol,
 		memo:   map[rdf.Term][]rdf.Term{},
 	}
-	instances := map[rdf.Term]struct{}{}
 	sl.Match(rdf.Term{}, rdf.TypeTerm, rdf.Term{}, func(t rdf.Triple) bool {
 		if t.O == rdf.ClassTerm {
 			return true // class declarations are not instances
 		}
 		ix.direct[t.O] = append(ix.direct[t.O], t.S)
-		instances[t.S] = struct{}{}
+		ix.types[t.S] = append(ix.types[t.S], t.O)
 		return true
 	})
 	for c := range ix.direct {
 		sortTermSlice(ix.direct[c])
 	}
-	ix.total = len(instances)
+	for i := range ix.types {
+		sortTermSlice(ix.types[i])
+	}
+	ix.total = len(ix.types)
 	return ix
 }
 
 // Total returns the number of distinct typed instances in the catalog.
 func (ix *InstanceIndex) Total() int { return ix.total }
+
+// Frozen reports whether ix is an immutable snapshot.
+func (ix *InstanceIndex) Frozen() bool { return ix.frozen }
+
+// Snapshot returns a frozen view of the index in O(1): it shares the
+// per-class slices and memo with the live index, which copy-on-writes
+// whatever a later mutation touches. Reads on the snapshot are safe
+// concurrently with live mutations; reads that miss the memo compute
+// their result without storing it. Snapshot must be serialized with
+// mutations. The snapshot of a snapshot is the snapshot itself.
+func (ix *InstanceIndex) Snapshot() *InstanceIndex {
+	if ix.frozen {
+		return ix
+	}
+	if ix.ont != nil {
+		// The subsumption closure is built lazily on first use, writing
+		// shared ontology state; force it now, while still serialized
+		// with mutations, so frozen readers that memo-miss never trigger
+		// that write concurrently.
+		ix.ont.Finalize()
+	}
+	snap := &InstanceIndex{
+		direct: ix.direct,
+		ont:    ix.ont,
+		total:  ix.total,
+		memo:   ix.memo,
+		frozen: true,
+	}
+	ix.sharedDirect, ix.sharedMemo = true, true
+	return snap
+}
+
+// mutableMaps shallow-copies any map header a snapshot still shares, so
+// the caller may write. The slices inside stay shared: updates replace
+// them wholesale.
+func (ix *InstanceIndex) mutableMaps() {
+	if ix.frozen {
+		panic("core: mutating a frozen InstanceIndex snapshot")
+	}
+	if ix.sharedDirect {
+		m := make(map[rdf.Term][]rdf.Term, len(ix.direct))
+		for k, v := range ix.direct {
+			m[k] = v
+		}
+		ix.direct, ix.sharedDirect = m, false
+	}
+	if ix.sharedMemo {
+		m := make(map[rdf.Term][]rdf.Term, len(ix.memo))
+		for k, v := range ix.memo {
+			m[k] = v
+		}
+		ix.memo, ix.sharedMemo = m, false
+	}
+}
+
+// UpsertInstance sets inst's direct classes (replacing whatever they
+// were) and updates the index incrementally: per-class sorted slices are
+// patched copy-on-write and only the memo entries of changed classes and
+// their ancestors are invalidated. rdf.ClassTerm entries are ignored,
+// matching NewInstanceIndex. An empty classes slice removes the
+// instance. Reports whether anything changed.
+func (ix *InstanceIndex) UpsertInstance(inst rdf.Term, classes []rdf.Term) bool {
+	newClasses := make([]rdf.Term, 0, len(classes))
+	for _, c := range classes {
+		if c == rdf.ClassTerm || c.IsZero() {
+			continue
+		}
+		newClasses = append(newClasses, c)
+	}
+	sortTermSlice(newClasses)
+	newClasses = dedupSorted(newClasses)
+	old := ix.types[inst]
+
+	added := diffSorted(newClasses, old)
+	removed := diffSorted(old, newClasses)
+	if len(added) == 0 && len(removed) == 0 {
+		return false
+	}
+	ix.mutableMaps()
+	for _, c := range removed {
+		if s := removeSorted(ix.direct[c], inst); len(s) == 0 {
+			delete(ix.direct, c)
+		} else {
+			ix.direct[c] = s
+		}
+	}
+	for _, c := range added {
+		ix.direct[c] = insertSorted(ix.direct[c], inst)
+	}
+	switch {
+	case len(old) == 0 && len(newClasses) > 0:
+		ix.total++
+	case len(old) > 0 && len(newClasses) == 0:
+		ix.total--
+	}
+	if len(newClasses) == 0 {
+		delete(ix.types, inst)
+	} else {
+		ix.types[inst] = newClasses
+	}
+	for _, c := range added {
+		ix.invalidate(c)
+	}
+	for _, c := range removed {
+		ix.invalidate(c)
+	}
+	return true
+}
+
+// RemoveInstance drops inst from the index entirely; equivalent to
+// UpsertInstance(inst, nil). Reports whether the instance was present.
+func (ix *InstanceIndex) RemoveInstance(inst rdf.Term) bool {
+	return ix.UpsertInstance(inst, nil)
+}
+
+// invalidate drops the memo entries whose result can depend on class c:
+// c itself and every ancestor (Instances includes descendant instances).
+func (ix *InstanceIndex) invalidate(c rdf.Term) {
+	delete(ix.memo, c)
+	if ix.ont == nil {
+		return
+	}
+	for _, a := range ix.ont.Ancestors(c) {
+		delete(ix.memo, a)
+	}
+}
 
 // Instances returns the instances of c, including those of its
 // descendants, sorted. The returned slice is shared; callers must not
@@ -228,7 +380,13 @@ func (ix *InstanceIndex) Instances(c rdf.Term) []rdf.Term {
 		out = append(out, i)
 	}
 	sortTermSlice(out)
-	ix.memo[c] = out
+	if !ix.frozen {
+		// A frozen snapshot may be read concurrently, so a memo miss is
+		// computed per call instead of stored; the live index un-shares
+		// its maps before memoizing.
+		ix.mutableMaps()
+		ix.memo[c] = out
+	}
 	return out
 }
 
@@ -244,11 +402,74 @@ func (ix *InstanceIndex) Contains(c, inst rdf.Term) bool {
 }
 
 // Freeze precomputes the instance sets of the given classes so later
-// concurrent reads hit only the memo.
+// concurrent reads hit only the memo. A no-op on frozen snapshots, which
+// never write their memo.
 func (ix *InstanceIndex) Freeze(classes []rdf.Term) {
+	if ix.frozen {
+		return
+	}
+	ix.mutableMaps()
 	for _, c := range classes {
 		ix.Instances(c)
 	}
+}
+
+// insertSorted returns a fresh sorted slice with x inserted (no-op copy
+// when already present). The input slice is never written: snapshots may
+// share it.
+func insertSorted(s []rdf.Term, x rdf.Term) []rdf.Term {
+	i := sort.Search(len(s), func(k int) bool { return s[k].Compare(x) >= 0 })
+	if i < len(s) && s[i] == x {
+		return s
+	}
+	out := make([]rdf.Term, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, x)
+	out = append(out, s[i:]...)
+	return out
+}
+
+// removeSorted returns a fresh sorted slice without x, sharing nothing
+// with the input.
+func removeSorted(s []rdf.Term, x rdf.Term) []rdf.Term {
+	i := sort.Search(len(s), func(k int) bool { return s[k].Compare(x) >= 0 })
+	if i >= len(s) || s[i] != x {
+		return s
+	}
+	out := make([]rdf.Term, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	out = append(out, s[i+1:]...)
+	return out
+}
+
+// dedupSorted removes adjacent duplicates in place.
+func dedupSorted(s []rdf.Term) []rdf.Term {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || s[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// diffSorted returns the elements of a not present in b; both sorted.
+func diffSorted(a, b []rdf.Term) []rdf.Term {
+	var out []rdf.Term
+	i, j := 0, 0
+	for i < len(a) {
+		switch {
+		case j >= len(b) || a[i].Compare(b[j]) < 0:
+			out = append(out, a[i])
+			i++
+		case a[i] == b[j]:
+			i++
+			j++
+		default:
+			j++
+		}
+	}
+	return out
 }
 
 // Subspace is the linking subspace selected by one rule for one external

@@ -50,6 +50,7 @@ package linkage
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -83,27 +84,32 @@ type Config struct {
 	Workers int
 }
 
-// Validate checks the configuration.
+// ErrConfig marks an invalid Config: every Validate failure wraps it, so
+// callers (e.g. an HTTP handler) can classify configuration mistakes as
+// client errors via errors.Is without string matching.
+var ErrConfig = errors.New("linkage: invalid config")
+
+// Validate checks the configuration. All errors wrap ErrConfig.
 func (c Config) Validate() error {
 	if len(c.Comparators) == 0 {
-		return fmt.Errorf("linkage: no comparators configured")
+		return fmt.Errorf("%w: no comparators configured", ErrConfig)
 	}
 	for i, cmp := range c.Comparators {
 		if cmp.Measure == nil {
-			return fmt.Errorf("linkage: comparator %d has nil measure", i)
+			return fmt.Errorf("%w: comparator %d has nil measure", ErrConfig, i)
 		}
 		if cmp.Weight <= 0 {
-			return fmt.Errorf("linkage: comparator %d has non-positive weight %v", i, cmp.Weight)
+			return fmt.Errorf("%w: comparator %d has non-positive weight %v", ErrConfig, i, cmp.Weight)
 		}
 		if cmp.ExternalProperty.IsZero() || cmp.LocalProperty.IsZero() {
-			return fmt.Errorf("linkage: comparator %d has zero property", i)
+			return fmt.Errorf("%w: comparator %d has zero property", ErrConfig, i)
 		}
 	}
 	if c.Threshold < 0 || c.Threshold > 1 {
-		return fmt.Errorf("linkage: threshold %v out of [0,1]", c.Threshold)
+		return fmt.Errorf("%w: threshold %v out of [0,1]", ErrConfig, c.Threshold)
 	}
 	if c.Workers < 0 {
-		return fmt.Errorf("linkage: negative worker count %d", c.Workers)
+		return fmt.Errorf("%w: negative worker count %d", ErrConfig, c.Workers)
 	}
 	return nil
 }

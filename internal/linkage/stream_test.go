@@ -195,8 +195,10 @@ func TestStreamFromBlocking(t *testing.T) {
 		et, lt := rdf.NewIRI(eid), rdf.NewIRI(lid)
 		se.Add(rdf.T(et, pn, rdf.NewLiteral(key+"E")))
 		sl.Add(rdf.T(lt, pn, rdf.NewLiteral(key+"L")))
-		extRecs = append(extRecs, blocking.Record{ID: eid, Key: key + "E"})
-		locRecs = append(locRecs, blocking.Record{ID: lid, Key: key + "L"})
+		// The blocking key is the shared part number; the scored literal
+		// keeps its per-source suffix.
+		extRecs = append(extRecs, blocking.Record{ID: eid, Key: key})
+		locRecs = append(locRecs, blocking.Record{ID: lid, Key: key})
 		terms[eid], terms[lid] = et, lt
 	}
 	eng, err := New(Config{
@@ -206,31 +208,40 @@ func TestStreamFromBlocking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	method := blocking.Standard{Key: blocking.PrefixKey(7)}
-	src := IDPairSource(func(yield func(a, b string) bool) {
-		method.Stream(extRecs, locRecs, func(p blocking.Pair) bool { return yield(p.A, p.B) })
-	}, func(id string) rdf.Term { return terms[id] })
+	// Every blocking baseline that implements Streamer must compose with
+	// the engine the same way.
+	methods := []blocking.Streamer{
+		blocking.Standard{Key: blocking.PrefixKey(7)},
+		blocking.SortedNeighborhood{Window: 4},
+		blocking.Bigram{Threshold: 0.8, MaxSublists: 16},
+		blocking.Canopy{},
+	}
+	for _, method := range methods {
+		src := IDPairSource(func(yield func(a, b string) bool) {
+			method.Stream(extRecs, locRecs, func(p blocking.Pair) bool { return yield(p.A, p.B) })
+		}, func(id string) rdf.Term { return terms[id] })
 
-	var streamed []Match
-	if err := eng.StreamPairs(context.Background(), src, func(m Match) bool {
-		streamed = append(streamed, m)
-		return true
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if len(streamed) == 0 {
-		t.Fatal("blocking stream produced no matches")
-	}
+		var streamed []Match
+		if err := eng.StreamPairs(context.Background(), src, func(m Match) bool {
+			streamed = append(streamed, m)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed) == 0 {
+			t.Fatalf("%s: blocking stream produced no matches", method.Name())
+		}
 
-	// Reference: materialize the same method's pairs and score them.
-	var pairs [][2]rdf.Term
-	for _, p := range method.Pairs(extRecs, locRecs) {
-		pairs = append(pairs, [2]rdf.Term{terms[p.A], terms[p.B]})
-	}
-	want := eng.ScorePairs(pairs)
-	sortMatches(streamed)
-	if !reflect.DeepEqual(streamed, want) {
-		t.Fatalf("streamed %d matches differ from materialized %d", len(streamed), len(want))
+		// Reference: materialize the same method's pairs and score them.
+		var pairs [][2]rdf.Term
+		for _, p := range method.Pairs(extRecs, locRecs) {
+			pairs = append(pairs, [2]rdf.Term{terms[p.A], terms[p.B]})
+		}
+		want := eng.ScorePairs(pairs)
+		sortMatches(streamed)
+		if !reflect.DeepEqual(streamed, want) {
+			t.Fatalf("%s: streamed %d matches differ from materialized %d", method.Name(), len(streamed), len(want))
+		}
 	}
 
 	// Unresolvable IDs are skipped, not scored.

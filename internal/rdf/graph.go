@@ -6,71 +6,315 @@ import (
 
 // Graph is an in-memory RDF triple store with three full indexes
 // (SPO, POS, OSP) so that every triple-pattern lookup touches only the
-// matching slice of the data. Graph is not safe for concurrent mutation;
-// concurrent readers are safe once loading is complete, which matches the
-// pipeline's load-then-query usage.
+// matching slice of the data.
+//
+// Graph is not safe for concurrent mutation, but it supports cheap
+// copy-on-write snapshots: Snapshot returns a frozen view that remains
+// valid — and identical to the graph at snapshot time — while the live
+// graph keeps mutating. Concurrent readers of a snapshot never race
+// with the live graph's writers, which is what lets slow queries run
+// entirely outside a service's write lock.
 type Graph struct {
-	spo index
-	pos index
-	osp index
+	spo cowIndex
+	pos cowIndex
+	osp cowIndex
 	n   int
 	// ver counts successful mutations, letting callers that snapshot
 	// derived state (e.g. the linkage value index) detect staleness
 	// cheaply via Version.
 	ver uint64
+	// mut is the graph's current mutation token: a bucket may be written
+	// in place only if it is owned by this token. Snapshot refreshes the
+	// token, disowning every bucket at once, so the next mutation copies
+	// what it touches instead of tearing the snapshot. A nil token marks
+	// a frozen snapshot; mutating one panics.
+	mut *mutToken
+	// snap caches the last snapshot with the version it was taken at, so
+	// repeated Snapshot calls on an unchanged graph return the same view
+	// without disowning buckets again.
+	snap    *Graph
+	snapVer uint64
 }
 
-// index is a three-level nested map: first key -> second key -> set of
-// third keys. The empty struct value keeps the leaf sets allocation-light.
-type index map[Term]map[Term]map[Term]struct{}
+// mutToken is an ownership marker compared by pointer identity. It must
+// not be zero-sized: the runtime may give all zero-size allocations the
+// same address, which would alias distinct tokens.
+type mutToken struct{ _ byte }
 
-func (ix index) add(a, b, c Term) bool {
-	m2, ok := ix[a]
-	if !ok {
-		m2 = make(map[Term]map[Term]struct{})
-		ix[a] = m2
-	}
-	m3, ok := m2[b]
-	if !ok {
-		m3 = make(map[Term]struct{})
-		m2[b] = m3
-	}
-	if _, dup := m3[c]; dup {
-		return false
-	}
-	m3[c] = struct{}{}
-	return true
+// bucket3 is a leaf set of third-position terms.
+type bucket3 struct {
+	owner *mutToken
+	set   map[Term]struct{}
 }
 
-func (ix index) remove(a, b, c Term) bool {
-	m2, ok := ix[a]
-	if !ok {
-		return false
+// b2ShardThreshold is the second-level size past which a bucket splits
+// into shards at its next copy-on-write. Small buckets (a subject's few
+// predicates) stay one flat map; skewed buckets (a predicate's thousands
+// of objects in the POS index) shard so the copy a mutation pays stays
+// O(n/shardCount).
+const b2ShardThreshold = 256
+
+// b2shard is one slice of a sharded second level.
+type b2shard struct {
+	owner *mutToken
+	m     map[Term]*bucket3
+}
+
+// bucket2 is a second-level map: second key -> leaf bucket. Exactly one
+// of flat/shards is in use; n counts the distinct second keys.
+type bucket2 struct {
+	owner  *mutToken
+	n      int
+	flat   map[Term]*bucket3
+	shards *[shardCount]b2shard
+}
+
+// get returns the leaf bucket for second-key b, or nil.
+func (b2 *bucket2) get(b Term) *bucket3 {
+	if b2.shards != nil {
+		return b2.shards[shardOf(b)].m[b]
 	}
-	m3, ok := m2[b]
-	if !ok {
-		return false
+	return b2.flat[b]
+}
+
+// each calls fn for every (second key, leaf) entry until fn returns
+// false; reports whether the iteration ran to completion.
+func (b2 *bucket2) each(fn func(Term, *bucket3) bool) bool {
+	if b2.shards != nil {
+		for i := range b2.shards {
+			for k, v := range b2.shards[i].m {
+				if !fn(k, v) {
+					return false
+				}
+			}
+		}
+		return true
 	}
-	if _, ok := m3[c]; !ok {
-		return false
-	}
-	delete(m3, c)
-	if len(m3) == 0 {
-		delete(m2, b)
-		if len(m2) == 0 {
-			delete(ix, a)
+	for k, v := range b2.flat {
+		if !fn(k, v) {
+			return false
 		}
 	}
 	return true
 }
 
-// NewGraph returns an empty graph.
-func NewGraph() *Graph {
-	return &Graph{
-		spo: make(index),
-		pos: make(index),
-		osp: make(index),
+// copyFor returns b2 if tok already owns it, else a writable copy owned
+// by tok: flat buckets copy (or split into shards past the threshold,
+// a one-time O(n) after which copies are per-shard), sharded buckets
+// copy only the 64-entry shard header — individual shard maps stay
+// shared until slot touches them.
+func (b2 *bucket2) copyFor(tok *mutToken) *bucket2 {
+	if b2.owner == tok {
+		return b2
 	}
+	c := &bucket2{owner: tok, n: b2.n}
+	switch {
+	case b2.shards != nil:
+		shards := *b2.shards
+		c.shards = &shards
+	case b2.n >= b2ShardThreshold:
+		shards := new([shardCount]b2shard)
+		for k, v := range b2.flat {
+			s := &shards[shardOf(k)]
+			if s.m == nil {
+				s.m = make(map[Term]*bucket3)
+				s.owner = tok
+			}
+			s.m[k] = v
+		}
+		c.shards = shards
+	default:
+		m := make(map[Term]*bucket3, len(b2.flat)+1)
+		for k, v := range b2.flat {
+			m[k] = v
+		}
+		c.flat = m
+	}
+	return c
+}
+
+// slot returns the writable map holding second-key b. b2 must already be
+// owned by tok (see copyFor).
+func (b2 *bucket2) slot(tok *mutToken, b Term) map[Term]*bucket3 {
+	if b2.shards == nil {
+		return b2.flat
+	}
+	s := &b2.shards[shardOf(b)]
+	if s.owner != tok {
+		m := make(map[Term]*bucket3, len(s.m)+1)
+		for k, v := range s.m {
+			m[k] = v
+		}
+		s.m, s.owner = m, tok
+	}
+	return s.m
+}
+
+// mutableB3 returns the writable leaf for second-key b inside slot m,
+// creating or path-copying it as needed; created reports a new entry.
+func mutableB3(tok *mutToken, m map[Term]*bucket3, b Term, create bool) (b3 *bucket3, created bool) {
+	b3 = m[b]
+	switch {
+	case b3 == nil:
+		if !create {
+			return nil, false
+		}
+		b3 = &bucket3{owner: tok, set: make(map[Term]struct{})}
+		m[b] = b3
+		return b3, true
+	case b3.owner != tok:
+		set := make(map[Term]struct{}, len(b3.set)+1)
+		for k := range b3.set {
+			set[k] = struct{}{}
+		}
+		b3 = &bucket3{owner: tok, set: set}
+		m[b] = b3
+	}
+	return b3, false
+}
+
+// shardCount splits each index's top level so the copy a mutation pays
+// after a snapshot is O(n/shardCount), not O(n). Must be a power of two.
+const shardCount = 64
+
+// cowShard is one slice of an index's top level: first key -> second
+// bucket, owned by a mutation token like every deeper level.
+type cowShard struct {
+	owner *mutToken
+	m     map[Term]*bucket2
+}
+
+// cowIndex is a three-level nested index (first key -> second key -> set
+// of third keys) in which every level carries the mutation token that
+// owns it. Writes go through add/remove, which path-copy any level not
+// owned by the current token before touching it; levels reachable from a
+// snapshot are therefore never written in place. The top level is
+// sharded by first-key hash, so the one unavoidable map copy per
+// mutate-after-snapshot touches a 1/shardCount slice of the keys.
+type cowIndex struct {
+	shards [shardCount]cowShard
+}
+
+// shardOf hashes a term to its top-level shard (FNV-1a over the value).
+func shardOf(t Term) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(t.Value); i++ {
+		h ^= uint32(t.Value[i])
+		h *= 16777619
+	}
+	h ^= uint32(t.Kind)
+	h *= 16777619
+	return h & (shardCount - 1)
+}
+
+// top returns the shard map holding first-key a, for reads (may be nil).
+func (ix *cowIndex) top(a Term) map[Term]*bucket2 {
+	return ix.shards[shardOf(a)].m
+}
+
+// mutable returns first-key a's shard with its map writable, copying it
+// first (shallow: keys and bucket pointers) if a snapshot still shares
+// it.
+func (ix *cowIndex) mutable(tok *mutToken, a Term) *cowShard {
+	s := &ix.shards[shardOf(a)]
+	if s.owner != tok {
+		m := make(map[Term]*bucket2, len(s.m)+1)
+		for k, v := range s.m {
+			m[k] = v
+		}
+		s.m, s.owner = m, tok
+	}
+	return s
+}
+
+// mutableB2 returns the writable bucket for first-key a, creating or
+// copy-on-writing it as needed. s must be a's writable shard.
+func (s *cowShard) mutableB2(tok *mutToken, a Term) *bucket2 {
+	b2 := s.m[a]
+	if b2 == nil {
+		b2 = &bucket2{owner: tok, flat: make(map[Term]*bucket3)}
+		s.m[a] = b2
+		return b2
+	}
+	if c := b2.copyFor(tok); c != b2 {
+		s.m[a] = c
+		b2 = c
+	}
+	return b2
+}
+
+func (ix *cowIndex) add(tok *mutToken, a, b, c Term) bool {
+	s := ix.mutable(tok, a)
+	b2 := s.mutableB2(tok, a)
+	b3, created := mutableB3(tok, b2.slot(tok, b), b, true)
+	if created {
+		b2.n++
+	}
+	if _, dup := b3.set[c]; dup {
+		return false
+	}
+	b3.set[c] = struct{}{}
+	return true
+}
+
+func (ix *cowIndex) remove(tok *mutToken, a, b, c Term) bool {
+	if !ix.has(a, b, c) {
+		return false
+	}
+	s := ix.mutable(tok, a)
+	b2 := s.mutableB2(tok, a)
+	slot := b2.slot(tok, b)
+	b3, _ := mutableB3(tok, slot, b, false)
+	delete(b3.set, c)
+	if len(b3.set) == 0 {
+		delete(slot, b)
+		b2.n--
+		if b2.n == 0 {
+			delete(s.m, a)
+		}
+	}
+	return true
+}
+
+func (ix *cowIndex) has(a, b, c Term) bool {
+	b2 := ix.top(a)[a]
+	if b2 == nil {
+		return false
+	}
+	b3 := b2.get(b)
+	if b3 == nil {
+		return false
+	}
+	_, ok := b3.set[c]
+	return ok
+}
+
+// second returns the leaf set under (a, b), or nil.
+func (ix *cowIndex) second(a, b Term) map[Term]struct{} {
+	b2 := ix.top(a)[a]
+	if b2 == nil {
+		return nil
+	}
+	b3 := b2.get(b)
+	if b3 == nil {
+		return nil
+	}
+	return b3.set
+}
+
+// firstLen returns the number of distinct first keys.
+func (ix *cowIndex) firstLen() int {
+	n := 0
+	for i := range ix.shards {
+		n += len(ix.shards[i].m)
+	}
+	return n
+}
+
+// NewGraph returns an empty graph. Shard maps materialize lazily on
+// first write.
+func NewGraph() *Graph {
+	return &Graph{mut: &mutToken{}}
 }
 
 // Len returns the number of triples in the graph.
@@ -78,20 +322,66 @@ func (g *Graph) Len() int { return g.n }
 
 // Version returns a counter that increases on every successful Add or
 // Remove. Two equal Version values bracket a span with no mutations, so
-// state derived from the graph in between is still current.
+// state derived from the graph in between is still current. A snapshot
+// keeps the version it was taken at forever.
 func (g *Graph) Version() uint64 { return g.ver }
+
+// Frozen reports whether g is an immutable snapshot (see Snapshot).
+func (g *Graph) Frozen() bool { return g.mut == nil }
+
+// Snapshot returns a frozen copy-on-write view of the graph: an O(1)
+// operation that shares the graph's indexes and freezes them by
+// refreshing the live graph's mutation token. Reads on the snapshot are
+// safe concurrently with any later mutation of the live graph — a
+// mutation path-copies the first/second-level buckets it touches instead
+// of writing shared state — and always observe exactly the triples
+// present at snapshot time. The first mutation through a given top-level
+// shard after a snapshot additionally re-copies that shard's map
+// (pointer-shallow, O(distinct first keys / 64)); subsequent mutations
+// pay only for the buckets they touch, until the next Snapshot.
+//
+// Snapshot must be serialized with mutations (call it from the writing
+// goroutine, or under the caller's write lock). Snapshots of an
+// unchanged graph are cached, so taking one per published query-state is
+// free when nothing mutated in between. The snapshot of a snapshot is
+// the snapshot itself. Mutating a snapshot panics.
+func (g *Graph) Snapshot() *Graph {
+	if g.mut == nil {
+		return g
+	}
+	if g.snap != nil && g.snapVer == g.ver {
+		return g.snap
+	}
+	snap := &Graph{spo: g.spo, pos: g.pos, osp: g.osp, n: g.n, ver: g.ver}
+	// Disown every bucket: the next mutation on the live graph copies
+	// before writing, so snap's view never changes.
+	g.mut = &mutToken{}
+	g.snap, g.snapVer = snap, g.ver
+	return snap
+}
+
+// writeToken returns the token mutations must own, panicking on frozen
+// snapshots — silently dropping writes would corrupt derived state.
+func (g *Graph) writeToken() *mutToken {
+	if g.mut == nil {
+		panic("rdf: mutating a frozen graph snapshot")
+	}
+	return g.mut
+}
 
 // Add inserts t, reporting whether it was not already present.
 // Invalid triples (per Triple.Validate) are rejected and not inserted.
+// Panics if g is a frozen snapshot.
 func (g *Graph) Add(t Triple) bool {
 	if t.Validate() != nil {
 		return false
 	}
-	if !g.spo.add(t.S, t.P, t.O) {
+	tok := g.writeToken()
+	if !g.spo.add(tok, t.S, t.P, t.O) {
 		return false
 	}
-	g.pos.add(t.P, t.O, t.S)
-	g.osp.add(t.O, t.S, t.P)
+	g.pos.add(tok, t.P, t.O, t.S)
+	g.osp.add(tok, t.O, t.S, t.P)
 	g.n++
 	g.ver++
 	return true
@@ -108,13 +398,15 @@ func (g *Graph) AddAll(ts []Triple) int {
 	return added
 }
 
-// Remove deletes t, reporting whether it was present.
+// Remove deletes t, reporting whether it was present. Panics if g is a
+// frozen snapshot.
 func (g *Graph) Remove(t Triple) bool {
-	if !g.spo.remove(t.S, t.P, t.O) {
+	tok := g.writeToken()
+	if !g.spo.remove(tok, t.S, t.P, t.O) {
 		return false
 	}
-	g.pos.remove(t.P, t.O, t.S)
-	g.osp.remove(t.O, t.S, t.P)
+	g.pos.remove(tok, t.P, t.O, t.S)
+	g.osp.remove(tok, t.O, t.S, t.P)
 	g.n--
 	g.ver++
 	return true
@@ -122,16 +414,7 @@ func (g *Graph) Remove(t Triple) bool {
 
 // Has reports whether t is in the graph.
 func (g *Graph) Has(t Triple) bool {
-	m2, ok := g.spo[t.S]
-	if !ok {
-		return false
-	}
-	m3, ok := m2[t.P]
-	if !ok {
-		return false
-	}
-	_, ok = m3[t.O]
-	return ok
+	return g.spo.has(t.S, t.P, t.O)
 }
 
 // Match calls fn for every triple matching the pattern; a zero Term in a
@@ -144,54 +427,68 @@ func (g *Graph) Match(s, p, o Term, fn func(Triple) bool) {
 			fn(Triple{s, p, o})
 		}
 	case !s.IsZero() && !p.IsZero():
-		for obj := range g.spo[s][p] {
+		for obj := range g.spo.second(s, p) {
 			if !fn(Triple{s, p, obj}) {
 				return
 			}
 		}
 	case !s.IsZero() && !o.IsZero():
-		for pred := range g.osp[o][s] {
+		for pred := range g.osp.second(o, s) {
 			if !fn(Triple{s, pred, o}) {
 				return
 			}
 		}
 	case !p.IsZero() && !o.IsZero():
-		for subj := range g.pos[p][o] {
+		for subj := range g.pos.second(p, o) {
 			if !fn(Triple{subj, p, o}) {
 				return
 			}
 		}
 	case !s.IsZero():
-		for pred, objs := range g.spo[s] {
-			for obj := range objs {
-				if !fn(Triple{s, pred, obj}) {
-					return
+		if b2 := g.spo.top(s)[s]; b2 != nil {
+			b2.each(func(pred Term, objs *bucket3) bool {
+				for obj := range objs.set {
+					if !fn(Triple{s, pred, obj}) {
+						return false
+					}
 				}
-			}
+				return true
+			})
 		}
 	case !p.IsZero():
-		for obj, subjs := range g.pos[p] {
-			for subj := range subjs {
-				if !fn(Triple{subj, p, obj}) {
-					return
+		if b2 := g.pos.top(p)[p]; b2 != nil {
+			b2.each(func(obj Term, subjs *bucket3) bool {
+				for subj := range subjs.set {
+					if !fn(Triple{subj, p, obj}) {
+						return false
+					}
 				}
-			}
+				return true
+			})
 		}
 	case !o.IsZero():
-		for subj, preds := range g.osp[o] {
-			for pred := range preds {
-				if !fn(Triple{subj, pred, o}) {
-					return
+		if b2 := g.osp.top(o)[o]; b2 != nil {
+			b2.each(func(subj Term, preds *bucket3) bool {
+				for pred := range preds.set {
+					if !fn(Triple{subj, pred, o}) {
+						return false
+					}
 				}
-			}
+				return true
+			})
 		}
 	default:
-		for subj, m2 := range g.spo {
-			for pred, objs := range m2 {
-				for obj := range objs {
-					if !fn(Triple{subj, pred, obj}) {
-						return
+		for i := range g.spo.shards {
+			for subj, b2 := range g.spo.shards[i].m {
+				if !b2.each(func(pred Term, objs *bucket3) bool {
+					for obj := range objs.set {
+						if !fn(Triple{subj, pred, obj}) {
+							return false
+						}
 					}
+					return true
+				}) {
+					return
 				}
 			}
 		}
@@ -212,7 +509,7 @@ func (g *Graph) Find(s, p, o Term) []Triple {
 
 // Objects returns the distinct objects of triples (s, p, ?o), sorted.
 func (g *Graph) Objects(s, p Term) []Term {
-	objs := g.spo[s][p]
+	objs := g.spo.second(s, p)
 	out := make([]Term, 0, len(objs))
 	for o := range objs {
 		out = append(out, o)
@@ -225,7 +522,7 @@ func (g *Graph) Objects(s, p Term) []Term {
 // When several objects exist the smallest in Term.Compare order is
 // returned, so the choice is deterministic.
 func (g *Graph) FirstObject(s, p Term) (Term, bool) {
-	objs := g.spo[s][p]
+	objs := g.spo.second(s, p)
 	if len(objs) == 0 {
 		return Term{}, false
 	}
@@ -241,7 +538,7 @@ func (g *Graph) FirstObject(s, p Term) (Term, bool) {
 
 // Subjects returns the distinct subjects of triples (?s, p, o), sorted.
 func (g *Graph) Subjects(p, o Term) []Term {
-	subjs := g.pos[p][o]
+	subjs := g.pos.second(p, o)
 	out := make([]Term, 0, len(subjs))
 	for s := range subjs {
 		out = append(out, s)
@@ -252,13 +549,15 @@ func (g *Graph) Subjects(p, o Term) []Term {
 
 // SubjectCount returns the number of distinct subjects of (?s, p, o)
 // without materializing them.
-func (g *Graph) SubjectCount(p, o Term) int { return len(g.pos[p][o]) }
+func (g *Graph) SubjectCount(p, o Term) int { return len(g.pos.second(p, o)) }
 
 // Predicates returns the distinct predicates used in the graph, sorted.
 func (g *Graph) Predicates() []Term {
-	out := make([]Term, 0, len(g.pos))
-	for p := range g.pos {
-		out = append(out, p)
+	out := make([]Term, 0, g.pos.firstLen())
+	for i := range g.pos.shards {
+		for p := range g.pos.shards[i].m {
+			out = append(out, p)
+		}
 	}
 	sortTerms(out)
 	return out
@@ -266,9 +565,11 @@ func (g *Graph) Predicates() []Term {
 
 // AllSubjects returns the distinct subjects appearing in the graph, sorted.
 func (g *Graph) AllSubjects() []Term {
-	out := make([]Term, 0, len(g.spo))
-	for s := range g.spo {
-		out = append(out, s)
+	out := make([]Term, 0, g.spo.firstLen())
+	for i := range g.spo.shards {
+		for s := range g.spo.shards[i].m {
+			out = append(out, s)
+		}
 	}
 	sortTerms(out)
 	return out
@@ -297,7 +598,9 @@ func (g *Graph) Merge(other *Graph) int {
 	return added
 }
 
-// Clone returns an independent deep copy of the graph.
+// Clone returns an independent deep copy of the graph. Unlike Snapshot
+// the copy is mutable and shares nothing; prefer Snapshot for read-only
+// point-in-time views.
 func (g *Graph) Clone() *Graph {
 	c := NewGraph()
 	c.Merge(g)

@@ -1,0 +1,237 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func tripleN(s, p, o int) Triple {
+	return T(
+		NewIRI(fmt.Sprintf("http://ex.org/s%d", s)),
+		NewIRI(fmt.Sprintf("http://ex.org/p%d", p)),
+		NewLiteral(fmt.Sprintf("v%d", o)),
+	)
+}
+
+func seededGraph(n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		g.Add(tripleN(i%7, i%3, i))
+	}
+	return g
+}
+
+func TestSnapshotFrozenAtVersion(t *testing.T) {
+	g := seededGraph(20)
+	wantVer := g.Version()
+	wantLen := g.Len()
+	wantTriples := g.Triples()
+
+	snap := g.Snapshot()
+	if !snap.Frozen() {
+		t.Fatal("snapshot not frozen")
+	}
+	if g.Frozen() {
+		t.Fatal("live graph must stay mutable")
+	}
+
+	// Mutate the live graph heavily: new triples, removals of shared
+	// triples, re-adds.
+	for i := 0; i < 50; i++ {
+		g.Add(tripleN(i, i%5, 1000+i))
+	}
+	for _, tr := range wantTriples[:10] {
+		if !g.Remove(tr) {
+			t.Fatalf("remove %v failed", tr)
+		}
+	}
+
+	if snap.Version() != wantVer || snap.Len() != wantLen {
+		t.Fatalf("snapshot drifted: ver=%d len=%d, want ver=%d len=%d",
+			snap.Version(), snap.Len(), wantVer, wantLen)
+	}
+	if got := snap.Triples(); !reflect.DeepEqual(got, wantTriples) {
+		t.Fatalf("snapshot triples changed under live mutation:\n got %v\nwant %v", got, wantTriples)
+	}
+	// The removed triples are still visible in the snapshot.
+	for _, tr := range wantTriples[:10] {
+		if !snap.Has(tr) {
+			t.Fatalf("snapshot lost %v after live removal", tr)
+		}
+	}
+}
+
+func TestSnapshotOfSnapshot(t *testing.T) {
+	g := seededGraph(10)
+	s1 := g.Snapshot()
+	s2 := s1.Snapshot()
+	if s2 != s1 {
+		t.Fatal("snapshot of a snapshot should be the snapshot itself")
+	}
+	if !reflect.DeepEqual(s2.Triples(), g.Triples()) {
+		t.Fatal("nested snapshot differs from source")
+	}
+}
+
+func TestSnapshotCachedWhileUnchanged(t *testing.T) {
+	g := seededGraph(10)
+	s1 := g.Snapshot()
+	if s2 := g.Snapshot(); s2 != s1 {
+		t.Fatal("snapshot of an unchanged graph should be cached")
+	}
+	g.Add(tripleN(99, 0, 99))
+	if s3 := g.Snapshot(); s3 == s1 {
+		t.Fatal("snapshot after mutation must be fresh")
+	}
+}
+
+func TestSnapshotMutationPanics(t *testing.T) {
+	snap := seededGraph(5).Snapshot()
+	for name, fn := range map[string]func(){
+		"Add":    func() { snap.Add(tripleN(50, 0, 50)) },
+		"Remove": func() { snap.Remove(tripleN(0, 0, 0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a snapshot did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSnapshotChain(t *testing.T) {
+	// A chain of snapshots at different versions must each stay frozen at
+	// their own version while the live graph keeps moving.
+	g := NewGraph()
+	var snaps []*Graph
+	var wants [][]Triple
+	rng := rand.New(rand.NewSource(3))
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 15; i++ {
+			g.Add(tripleN(rng.Intn(10), rng.Intn(4), rng.Intn(200)))
+		}
+		for _, tr := range g.Triples() {
+			if rng.Intn(4) == 0 {
+				g.Remove(tr)
+			}
+		}
+		snaps = append(snaps, g.Snapshot())
+		wants = append(wants, g.Triples())
+	}
+	for i, s := range snaps {
+		if got := s.Triples(); !reflect.DeepEqual(got, wants[i]) {
+			t.Fatalf("snapshot %d drifted", i)
+		}
+	}
+}
+
+// TestSnapshotPropertyImmutable is the satellite's property test: for
+// random graphs and random mutation scripts, a snapshot's Triples() and
+// Match output is byte-identical before and after arbitrary live-graph
+// mutation.
+func TestSnapshotPropertyImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		g := NewGraph()
+		for i, n := 0, rng.Intn(80); i < n; i++ {
+			g.Add(tripleN(rng.Intn(12), rng.Intn(5), rng.Intn(40)))
+		}
+		snap := g.Snapshot()
+
+		// Record every observation mode before mutating.
+		s := NewIRI(fmt.Sprintf("http://ex.org/s%d", rng.Intn(12)))
+		p := NewIRI(fmt.Sprintf("http://ex.org/p%d", rng.Intn(5)))
+		before := struct {
+			triples  []Triple
+			bySubj   []Triple
+			byPred   []Triple
+			objects  []Term
+			subjects []Term
+		}{
+			snap.Triples(),
+			snap.Find(s, Term{}, Term{}),
+			snap.Find(Term{}, p, Term{}),
+			snap.Objects(s, p),
+			snap.AllSubjects(),
+		}
+
+		// Arbitrary mutation script: interleaved adds and removes,
+		// including full clears of some subjects.
+		for op, nOps := 0, 30+rng.Intn(120); op < nOps; op++ {
+			if rng.Intn(2) == 0 {
+				g.Add(tripleN(rng.Intn(12), rng.Intn(5), rng.Intn(40)))
+			} else {
+				trs := g.Triples()
+				if len(trs) > 0 {
+					g.Remove(trs[rng.Intn(len(trs))])
+				}
+			}
+		}
+
+		if got := snap.Triples(); !reflect.DeepEqual(got, before.triples) {
+			t.Fatalf("trial %d: Triples() drifted", trial)
+		}
+		if got := snap.Find(s, Term{}, Term{}); !reflect.DeepEqual(got, before.bySubj) {
+			t.Fatalf("trial %d: Find(s,*,*) drifted", trial)
+		}
+		if got := snap.Find(Term{}, p, Term{}); !reflect.DeepEqual(got, before.byPred) {
+			t.Fatalf("trial %d: Find(*,p,*) drifted", trial)
+		}
+		if got := snap.Objects(s, p); !reflect.DeepEqual(got, before.objects) {
+			t.Fatalf("trial %d: Objects drifted", trial)
+		}
+		if got := snap.AllSubjects(); !reflect.DeepEqual(got, before.subjects) {
+			t.Fatalf("trial %d: AllSubjects drifted", trial)
+		}
+	}
+}
+
+// TestSnapshotConcurrentReaders drives snapshot readers concurrently
+// with live-graph mutations; under -race this proves mutations never
+// write memory a snapshot can read.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	g := seededGraph(100)
+	snap := g.Snapshot()
+	want := snap.Triples()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := snap.Triples(); len(got) != len(want) {
+					t.Errorf("snapshot read tore: %d triples, want %d", len(got), len(want))
+					return
+				}
+				snap.Match(Term{}, Term{}, Term{}, func(Triple) bool { return true })
+			}
+		}()
+	}
+	for i := 0; i < 3000; i++ {
+		g.Add(tripleN(i%20, i%5, 500+i))
+		if i%3 == 0 {
+			trs := g.Find(NewIRI(fmt.Sprintf("http://ex.org/s%d", i%7)), Term{}, Term{})
+			if len(trs) > 0 {
+				g.Remove(trs[0])
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := snap.Triples(); !reflect.DeepEqual(got, want) {
+		t.Fatal("snapshot drifted during concurrent mutation")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 
@@ -29,12 +30,19 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 
 // decode parses a JSON request body strictly (unknown fields are
 // rejected, catching typo'd options early) under the service's size cap.
+// The body must be exactly one JSON value: trailing data after it —
+// which json.Decoder would otherwise silently ignore, accepting e.g.
+// two concatenated objects and applying only the first — is a 400.
 func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeErr(w, http.StatusBadRequest, "decoding request: trailing data after JSON body")
 		return false
 	}
 	return true
@@ -69,19 +77,18 @@ type statusResponse struct {
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	qs := s.state.Load()
 	resp := statusResponse{
-		ExternalTriples: s.se.Len(),
-		LocalTriples:    s.sl.Len(),
-		ExternalVersion: s.se.Version(),
-		LocalVersion:    s.sl.Version(),
-		TrainingLinks:   len(s.links),
-		Learned:         s.pipe != nil,
+		ExternalTriples: qs.se.Len(),
+		LocalTriples:    qs.sl.Len(),
+		ExternalVersion: qs.se.Version(),
+		LocalVersion:    qs.sl.Version(),
+		TrainingLinks:   qs.links,
+		Learned:         qs.pipe != nil,
 		Measures:        MeasureNames(),
 	}
-	if s.pipe != nil {
-		resp.Rules = s.pipe.Model.Rules.Len()
+	if qs.pipe != nil {
+		resp.Rules = qs.pipe.Model.Rules.Len()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -138,9 +145,9 @@ func (s *Service) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	for i, it := range req.Items {
 		s.replaceItemLocked(side, terms[i], it.Properties, it.Classes)
 	}
-	// Push the mutation into the cached linker incrementally; no full
-	// index rebuild happens on the next link query. Only local-side
-	// changes touch the instance index, so only they re-freeze it.
+	// Push the mutation into the cached linker and the instance index
+	// incrementally (per item — no rebuild of either), then publish a
+	// fresh frozen view for queries.
 	if s.pipe != nil {
 		s.pipe.Upsert(side, terms...)
 		if side == datalink.LocalSide {
@@ -151,6 +158,7 @@ func (s *Service) handleUpsert(w http.ResponseWriter, r *http.Request) {
 	if side == datalink.LocalSide {
 		g = s.sl
 	}
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, upsertResponse{Upserted: len(req.Items), Version: g.Version()})
 }
 
@@ -162,6 +170,10 @@ type removeRequest struct {
 type removeResponse struct {
 	Removed int    `json:"removed"`
 	Version uint64 `json:"version"`
+	// PurgedLinks counts training links dropped because their endpoint
+	// on this side was removed — otherwise the next learn would
+	// resurrect ghost items into the model.
+	PurgedLinks int `json:"purged_links"`
 }
 
 func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
@@ -185,10 +197,12 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 		g = s.sl
 	}
 	terms := make([]datalink.Term, 0, len(req.IDs))
+	gone := make(map[datalink.Term]struct{}, len(req.IDs))
 	removed := 0
 	for _, id := range req.IDs {
 		item := datalink.NewIRI(id)
 		terms = append(terms, item)
+		gone[item] = struct{}{}
 		trs := g.Find(item, datalink.Term{}, datalink.Term{})
 		for _, tr := range trs {
 			g.Remove(tr)
@@ -197,13 +211,36 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 			removed++
 		}
 	}
+	purged := s.purgeLinksLocked(side, gone)
 	if s.pipe != nil {
 		s.pipe.RemoveItems(side, terms...)
 		if side == datalink.LocalSide {
 			s.freezeInstancesLocked()
 		}
 	}
-	writeJSON(w, http.StatusOK, removeResponse{Removed: removed, Version: g.Version()})
+	s.publishLocked()
+	writeJSON(w, http.StatusOK, removeResponse{Removed: removed, Version: g.Version(), PurgedLinks: purged})
+}
+
+// purgeLinksLocked drops accumulated training links whose endpoint on
+// the given side is in gone, returning how many were dropped. Without
+// this, removed items linger in the training set and the next learn
+// resurrects them into the model. Callers must hold the write lock.
+func (s *Service) purgeLinksLocked(side datalink.Side, gone map[datalink.Term]struct{}) int {
+	kept := make([]datalink.Link, 0, len(s.links))
+	for _, l := range s.links {
+		end := l.External
+		if side == datalink.LocalSide {
+			end = l.Local
+		}
+		if _, dead := gone[end]; dead {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	purged := len(s.links) - len(kept)
+	s.links = kept
+	return purged
 }
 
 // linkSpec is the wire form of one labeled same-as link.
@@ -254,6 +291,7 @@ func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "learning: %v", err)
 		return
 	}
+	s.publishLocked()
 	writeJSON(w, http.StatusOK, learnResponse{
 		TrainingLinks: len(s.links),
 		Rules:         s.pipe.Model.Rules.Len(),
@@ -273,13 +311,12 @@ type ruleJSON struct {
 }
 
 func (s *Service) handleRules(w http.ResponseWriter, _ *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.pipe == nil {
+	qs := s.state.Load()
+	if qs.pipe == nil {
 		writeErr(w, http.StatusConflict, "no model learned yet; POST /v1/learn first")
 		return
 	}
-	rules := s.pipe.Model.Rules.Rules
+	rules := qs.pipe.Model.Rules.Rules
 	out := make([]ruleJSON, 0, len(rules))
 	for _, rl := range rules {
 		out = append(out, ruleJSON{
@@ -328,9 +365,11 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.pipe == nil {
+	// Load the published snapshot bundle and run the whole query against
+	// it — no service lock is taken, so concurrent mutations proceed
+	// undelayed and this query observes one consistent corpus.
+	qs := s.state.Load()
+	if qs.view == nil {
 		writeErr(w, http.StatusConflict, "no model learned yet; POST /v1/learn first")
 		return
 	}
@@ -360,17 +399,21 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 			items = append(items, datalink.NewIRI(id))
 		}
 	} else {
-		items = s.se.AllSubjects()
+		items = qs.se.AllSubjects()
 	}
 	// The request context threads through the engine's worker pool: a
 	// dropped connection cancels in-flight scoring.
-	topk, err := s.pipe.LinkTopK(r.Context(), items, cfg, req.TopK)
+	topk, err := qs.view.LinkTopK(r.Context(), items, cfg, req.TopK)
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 			writeErr(w, 499, "request cancelled: %v", err) // 499: client closed request
-			return
+		case errors.Is(err, datalink.ErrLinkerConfig):
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		default:
+			// Anything else is an internal failure, not a bad request.
+			writeErr(w, http.StatusInternalServerError, "%v", err)
 		}
-		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	results := make([]linkResult, 0, len(topk))

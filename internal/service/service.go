@@ -4,14 +4,30 @@
 // space — without ever rebuilding the matcher's value index from scratch
 // between requests.
 //
+// # Snapshot-isolated queries
+//
 // The service owns the external graph (SE), the local catalog (SL) and
-// the ontology. Item mutations go through the graphs and are pushed into
-// the cached linkage engine incrementally (Pipeline.Upsert/RemoveItems),
-// so the matcher's value index is never rebuilt between requests:
-// external-side updates cost O(item); local-side updates additionally
-// refresh the instance index (one pass over the catalog's rdf:type
-// triples — cheap next to the value index, but not yet per-item). Link
-// queries run under the request's context, so a dropped connection
+// the ontology, but queries never touch them. Every mutation (item
+// upsert/remove, learn) briefly takes the service's write mutex, applies
+// the change, pushes it into the cached linkage engine and the instance
+// index incrementally (per item — no full re-scan of either), and then
+// publishes an immutable query state: copy-on-write snapshots of both
+// graphs plus a frozen instance index, swapped in through one atomic
+// pointer. Link, status and rules requests load that pointer and run
+// entirely against the frozen state, so no service-level lock is held
+// while scoring runs — a slow link query can never delay a concurrent
+// upsert. Writes stay bounded-latency under any query load: they wait on
+// the engine's internal lock for at most one in-flight scoring batch.
+//
+// The isolation contract: classification, candidate expansion and every
+// graph read observe the pre-mutation snapshot end to end. Scoring
+// prefers the shared live value index (kept current incrementally), so a
+// mutation landing mid-query may be reflected in scores computed after
+// it — but each pair's score is atomic under the engine's lock: it never
+// mixes an item's old and new property values, which is what the
+// race-mode torn-read test pins down.
+//
+// Link queries run under the request's context, so a dropped connection
 // cancels in-flight scoring.
 //
 // # Endpoints
@@ -19,7 +35,7 @@
 //	GET  /healthz           liveness probe
 //	GET  /v1/status         corpus sizes, versions, model state
 //	POST /v1/items/upsert   replace item descriptions on one side
-//	POST /v1/items/remove   remove items from one side
+//	POST /v1/items/remove   remove items (and their training links) on one side
 //	POST /v1/learn          learn rules from labeled same-as links
 //	GET  /v1/rules          the learned rule set
 //	POST /v1/link           top-k links for items, in their reduced space
@@ -31,6 +47,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	datalink "repro"
 )
@@ -48,21 +65,37 @@ type Options struct {
 	MaxBodyBytes int64
 }
 
-// Service is the shared state behind the HTTP API. All handler access is
-// guarded by mu: mutations (items, learn) take the write lock, queries
-// (status, rules, link) the read lock. The linkage engine underneath has
-// its own finer-grained locking, but the service-level lock is what
-// keeps graph mutation — which rdf.Graph does not support concurrently —
-// serialized against readers.
+// Service is the shared state behind the HTTP API. Mutations (items,
+// learn) serialize on mu, apply their change to the live graphs and
+// pipeline, and publish a new immutable queryState. Queries load the
+// current queryState from the atomic pointer and never take mu, so
+// scoring runs with no service-level lock held.
 type Service struct {
 	opts Options
 
-	mu    sync.RWMutex
+	// mu serializes writers only. The live graphs and pipeline may only
+	// be touched under it.
+	mu    sync.Mutex
 	se    *datalink.Graph
 	sl    *datalink.Graph
 	ol    *datalink.Ontology
 	links []datalink.Link
 	pipe  *datalink.Pipeline
+
+	// state is the published immutable view every query runs against.
+	// Writers replace it wholesale after each mutation.
+	state atomic.Pointer[queryState]
+}
+
+// queryState is one published point-in-time view: frozen copy-on-write
+// graph snapshots, the pipeline (for its immutable model) and a frozen
+// QueryView, all safe for unsynchronized concurrent reads. pipe and view
+// are nil until a model has been learned.
+type queryState struct {
+	se, sl *datalink.Graph
+	pipe   *datalink.Pipeline
+	view   *datalink.QueryView
+	links  int
 }
 
 // New builds a service over the given graphs and ontology; nil arguments
@@ -81,7 +114,26 @@ func New(se, sl *datalink.Graph, ol *datalink.Ontology, opts Options) *Service {
 	if opts.MaxBodyBytes <= 0 {
 		opts.MaxBodyBytes = 8 << 20
 	}
-	return &Service{opts: opts, se: se, sl: sl, ol: ol}
+	s := &Service{opts: opts, se: se, sl: sl, ol: ol}
+	s.publishLocked()
+	return s
+}
+
+// publishLocked snapshots the live state into a fresh queryState and
+// swaps it in for queries. O(1): graph and instance-index snapshots are
+// copy-on-write, and unchanged graphs reuse their cached snapshot.
+// Callers must hold the write lock (or be the constructor).
+func (s *Service) publishLocked() {
+	qs := &queryState{
+		se:    s.se.Snapshot(),
+		sl:    s.sl.Snapshot(),
+		links: len(s.links),
+	}
+	if s.pipe != nil {
+		qs.pipe = s.pipe
+		qs.view = s.pipe.Snapshot()
+	}
+	s.state.Store(qs)
 }
 
 // LearnLinks appends labeled links and relearns the model — the
@@ -90,12 +142,20 @@ func New(se, sl *datalink.Graph, ol *datalink.Ontology, opts Options) *Service {
 func (s *Service) LearnLinks(links []datalink.Link) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.links = append(s.links, links...)
-	return s.learnLocked()
+	prev := s.links
+	s.links = append(append([]datalink.Link(nil), s.links...), links...)
+	if err := s.learnLocked(); err != nil {
+		s.links = prev // learning failed; keep the old state queryable
+		return err
+	}
+	s.publishLocked()
+	return nil
 }
 
-// Learn (re)learns the model from the accumulated links and swaps in a
-// fresh pipeline. Callers must hold the write lock.
+// Learn (re)learns the model from the accumulated links, swaps in a
+// fresh pipeline, and warms its caches so queries against the next
+// published state never read live data. Callers must hold the write
+// lock and publish afterwards.
 func (s *Service) learnLocked() error {
 	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), s.links...)}
 	p, err := datalink.NewPipeline(s.opts.Learner, ts, s.se, s.sl, s.ol)
@@ -104,12 +164,21 @@ func (s *Service) learnLocked() error {
 	}
 	s.pipe = p
 	s.freezeInstancesLocked()
+	// Warm the engine cache for the default comparators on the write
+	// path, so default-config queries hit CachedLinker instead of
+	// compiling a value index per request. An invalid default config is
+	// surfaced on the first query that relies on it, not here.
+	if len(s.opts.DefaultLinker.Comparators) > 0 {
+		_ = s.pipe.EnsureLinker(s.opts.DefaultLinker)
+	}
 	return nil
 }
 
-// freezeInstancesLocked warms the instance index for every rule class,
-// so concurrent link queries only read the memo — the index memoizes
-// lazily and is not safe for concurrent first-touch otherwise.
+// freezeInstancesLocked warms the instance index memo for every rule
+// class, so the frozen snapshots published to queries answer from the
+// memo instead of recomputing instance unions per request. Incremental
+// upserts invalidate only the entries they affect, so re-warming after a
+// mutation touches just those.
 func (s *Service) freezeInstancesLocked() {
 	if s.pipe == nil {
 		return

@@ -67,17 +67,24 @@ func EvaluateLinks(found []Match, truth []Link) LinkResult {
 	return linkage.Evaluate(found, truth)
 }
 
+// ErrLinkerConfig marks an invalid LinkerConfig; every config validation
+// failure from the linking engine wraps it, letting callers classify
+// configuration mistakes (a client error) apart from internal failures.
+var ErrLinkerConfig = linkage.ErrConfig
+
 // Pipeline wires the full flow of the paper: learn rules from TS, then
 // for each new external item predict classes, build the reduced linking
 // space, and (optionally) run a matcher inside it.
 //
-// Concurrency: queries (Classify, ReducedSpace, LinkWithin, LinkTopK)
-// may run concurrently with each other only after the instance index is
-// warmed (InstanceIndex memoizes lazily; see InstanceIndex.Freeze). The
-// mutation methods (Upsert, RemoveItems, RefreshInstances) must be
-// serialized against queries by the caller — internal/service does this
-// with an RWMutex. Only the linkage engine underneath is safe for
-// unsynchronized query-under-update.
+// Concurrency: the Pipeline's own query methods (Classify, ReducedSpace,
+// LinkWithin, LinkTopK) read the live graphs and instance index, so they
+// must be serialized against the mutation methods (Upsert, RemoveItems,
+// RefreshInstances) by the caller. For lock-free queries under a live
+// write path, take a Snapshot: the returned QueryView reads frozen
+// copy-on-write state and may run concurrently with any later mutation —
+// internal/service publishes one per mutation via an atomic pointer.
+// Only the linkage engine underneath is safe for unsynchronized
+// query-under-update on its own.
 type Pipeline struct {
 	Model      *Model
 	Classifier *Classifier
@@ -113,6 +120,15 @@ func NewPipeline(cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology)
 		ol:         ol,
 	}, nil
 }
+
+// External returns the pipeline's live external graph. Mutate it only
+// under the same serialization as the pipeline's mutation methods, and
+// tell the pipeline via Upsert/RemoveItems afterwards.
+func (p *Pipeline) External() *Graph { return p.se }
+
+// Local returns the pipeline's live local catalog graph, under the same
+// contract as External.
+func (p *Pipeline) Local() *Graph { return p.sl }
 
 // Classify predicts the classes of an external item described in the
 // pipeline's external graph.
@@ -163,24 +179,40 @@ func (p *Pipeline) LinkTopK(ctx context.Context, items []Term, cfg LinkerConfig,
 	if err != nil {
 		return nil, fmt.Errorf("datalink: building linker: %w", err)
 	}
-	// The classifier and instance index are not safe for concurrent
-	// first-touch, so the reduced spaces are expanded on this goroutine.
-	type itemCands struct {
-		item Term
-		locs []Term
+	cands, err := expandCandidates(ctx, p.Classifier, p.se, p.Instances, items)
+	if err != nil {
+		return nil, err
 	}
+	return topKOver(ctx, eng, cfg.Workers, cands, k)
+}
+
+// itemCands pairs an external item with its expanded local candidates.
+type itemCands struct {
+	item Term
+	locs []Term
+}
+
+// expandCandidates computes every item's reduced-space candidates on the
+// calling goroutine: a live classifier/instance index is not safe for
+// concurrent first-touch, and a frozen one doesn't need the parallelism.
+func expandCandidates(ctx context.Context, cls *Classifier, se *Graph, ix *InstanceIndex, items []Term) ([]itemCands, error) {
 	cands := make([]itemCands, 0, len(items))
 	for _, item := range items {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cands = append(cands, itemCands{item: item, locs: p.candidatesOf(item)})
+		cands = append(cands, itemCands{item: item, locs: candidatesIn(cls, se, ix, item)})
 	}
+	return cands, nil
+}
+
+// topKOver fans the per-item top-k searches out across workers.
+func topKOver(ctx context.Context, eng *linkage.Engine, workers int, cands []itemCands, k int) (map[Term][]Match, error) {
 	type itemMatches struct {
 		item Term
 		ms   []Match
 	}
-	scored, err := par.MapChunks(ctx, par.Workers(cfg.Workers), 0, cands, func(c itemCands) (itemMatches, bool) {
+	scored, err := par.MapChunks(ctx, par.Workers(workers), 0, cands, func(c itemCands) (itemMatches, bool) {
 		return itemMatches{item: c.item, ms: eng.TopK(c.item, c.locs, k)}, true
 	})
 	if err != nil {
@@ -196,8 +228,14 @@ func (p *Pipeline) LinkTopK(ctx context.Context, items []Term, cfg LinkerConfig,
 // candidatesOf expands one item's reduced space into its local
 // candidates.
 func (p *Pipeline) candidatesOf(item Term) []Term {
-	sr := p.ReducedSpace(item)
-	pairs := core.CandidatePairs(sr, p.Instances)
+	return candidatesIn(p.Classifier, p.se, p.Instances, item)
+}
+
+// candidatesIn is the shared candidate expansion: classify item against
+// se, build its reduced space over ix, and return the local candidates.
+func candidatesIn(cls *Classifier, se *Graph, ix *InstanceIndex, item Term) []Term {
+	sr := core.Space(item, cls.Classify(item, se), ix)
+	pairs := core.CandidatePairs(sr, ix)
 	locs := make([]Term, 0, len(pairs))
 	for _, pr := range pairs {
 		locs = append(locs, pr[1])
@@ -208,7 +246,8 @@ func (p *Pipeline) candidatesOf(item Term) []Term {
 // Upsert re-indexes the given items in the cached linker after the
 // caller mutated the pipeline's graphs, so the next LinkWithin reuses
 // the value index instead of rebuilding it. Local-side changes also
-// refresh the instance index (a class's instance set may have changed).
+// update the instance index incrementally, item by item (a class's
+// instance set may have changed) — no full pass over the type triples.
 // A no-op for sides the cached linker does not exist for yet — the first
 // LinkWithin then builds a current index anyway.
 //
@@ -224,14 +263,16 @@ func (p *Pipeline) Upsert(side Side, items ...Term) {
 	}
 	p.linkerMu.Unlock()
 	if side == LocalSide {
-		p.RefreshInstances()
+		for _, item := range items {
+			p.Instances.UpsertInstance(item, p.sl.Objects(item, RDFType))
+		}
 	}
 }
 
 // RemoveItems drops the items from the cached linker's index on the
-// given side (and refreshes the instance index for local-side removals).
-// Unlike Upsert it never re-reads the graphs, so it also soft-deletes
-// items whose triples are still present.
+// given side (and removes local-side items from the instance index,
+// per item). Unlike Upsert it never re-reads the graphs, so it also
+// soft-deletes items whose triples are still present.
 func (p *Pipeline) RemoveItems(side Side, items ...Term) {
 	p.linkerMu.Lock()
 	if p.linker != nil {
@@ -239,15 +280,154 @@ func (p *Pipeline) RemoveItems(side Side, items ...Term) {
 	}
 	p.linkerMu.Unlock()
 	if side == LocalSide {
-		p.RefreshInstances()
+		for _, item := range items {
+			p.Instances.RemoveInstance(item)
+		}
 	}
 }
 
 // RefreshInstances rebuilds the instance index from the current local
-// graph — required after rdf:type facts change. Cheap relative to the
-// value index (one pass over the type triples, no tokenization).
+// graph with a full pass over the type triples — the heavyweight
+// fallback when the caller cannot enumerate which items changed
+// (Upsert/RemoveItems maintain the index incrementally and are preferred
+// on known mutations).
 func (p *Pipeline) RefreshInstances() {
 	p.Instances = NewInstanceIndex(p.sl, p.ol)
+}
+
+// EnsureLinker builds (or reuses) the cached engine for cfg, reading the
+// live graphs. It exists for writers that publish QueryViews: warming
+// the cache on the write path guarantees the view's queries never touch
+// live graphs, because CachedLinker hits. Must be serialized with
+// mutations like every other Pipeline mutator.
+func (p *Pipeline) EnsureLinker(cfg LinkerConfig) error {
+	_, err := p.linkerFor(cfg)
+	return err
+}
+
+// cachedEngine returns the cached engine when cfg's comparators match
+// the cache (adapting threshold/workers via WithOptions, which shares
+// the index), or nil on any mismatch. It never reads the graphs and
+// never rebuilds, so it is safe on a lock-free query path; freshness is
+// the caller's concern (QueryView checks the engine's versions against
+// its snapshots).
+func (p *Pipeline) cachedEngine(cfg LinkerConfig) *linkage.Engine {
+	p.linkerMu.Lock()
+	defer p.linkerMu.Unlock()
+	if p.linker == nil || !reflect.DeepEqual(cfg.Comparators, p.linkerCfg.Comparators) {
+		return nil
+	}
+	if cfg.Threshold == p.linkerCfg.Threshold && cfg.Workers == p.linkerCfg.Workers {
+		return p.linker
+	}
+	eng, err := p.linker.WithOptions(cfg.Threshold, cfg.Workers)
+	if err != nil {
+		return nil
+	}
+	return eng
+}
+
+// QueryView is an immutable point-in-time view of a pipeline for
+// lock-free queries: classification and candidate expansion read frozen
+// copy-on-write snapshots of the graphs and the instance index, so those
+// reads never tear while the live pipeline keeps mutating. Scoring
+// prefers the pipeline's shared live engine (internally synchronized and
+// kept fresh by Upsert/RemoveItems): a mutation landing mid-query may be
+// reflected in scores computed after it, but each pair's score is atomic
+// under the engine's lock and never mixes an item's old and new values.
+// When the requested comparators don't match the cached engine — or the
+// cache lags the snapshot — the view builds a request-scoped engine from
+// its own frozen graphs instead, trading one index build for fully
+// snapshot-pinned scoring.
+type QueryView struct {
+	p  *Pipeline
+	se *Graph
+	sl *Graph
+	ix *InstanceIndex
+}
+
+// Snapshot captures a QueryView of the pipeline's current state in O(1)
+// (graph and instance-index snapshots are copy-on-write). Like every
+// mutator it must be called serialized with mutations; the returned view
+// itself is safe for unsynchronized concurrent use from then on.
+func (p *Pipeline) Snapshot() *QueryView {
+	return &QueryView{
+		p:  p,
+		se: p.se.Snapshot(),
+		sl: p.sl.Snapshot(),
+		ix: p.Instances.Snapshot(),
+	}
+}
+
+// Model returns the learned model backing this view (immutable).
+func (v *QueryView) Model() *Model { return v.p.Model }
+
+// External returns the view's frozen external graph snapshot.
+func (v *QueryView) External() *Graph { return v.se }
+
+// Local returns the view's frozen local graph snapshot.
+func (v *QueryView) Local() *Graph { return v.sl }
+
+// Instances returns the view's frozen instance index.
+func (v *QueryView) Instances() *InstanceIndex { return v.ix }
+
+// Classify predicts the classes of an external item as described at
+// snapshot time.
+func (v *QueryView) Classify(item Term) []Prediction {
+	return v.p.Classifier.Classify(item, v.se)
+}
+
+// ReducedSpace computes the item's linking subspaces from its
+// predictions, over the frozen instance index.
+func (v *QueryView) ReducedSpace(item Term) SpaceReport {
+	return core.Space(item, v.Classify(item), v.ix)
+}
+
+// engineFor resolves the scoring engine for cfg: the pipeline's shared
+// live engine when the comparators match the cache and its index is at
+// least as new as this view's snapshots, else a request-scoped engine
+// compiled from the frozen snapshots (never the live graphs, which may
+// be mutating concurrently).
+func (v *QueryView) engineFor(cfg LinkerConfig) (*linkage.Engine, error) {
+	if eng := v.p.cachedEngine(cfg); eng != nil {
+		ext, loc := eng.Versions()
+		if ext >= v.se.Version() && loc >= v.sl.Version() {
+			return eng, nil
+		}
+	}
+	return linkage.New(cfg, v.se, v.sl)
+}
+
+// LinkTopK is Pipeline.LinkTopK against the view's frozen state: every
+// candidate expansion reads the snapshots, and no lock beyond the
+// engine's internal per-batch read lock is held while scoring runs.
+func (v *QueryView) LinkTopK(ctx context.Context, items []Term, cfg LinkerConfig, k int) (map[Term][]Match, error) {
+	eng, err := v.engineFor(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("datalink: building linker: %w", err)
+	}
+	cands, err := expandCandidates(ctx, v.p.Classifier, v.se, v.ix, items)
+	if err != nil {
+		return nil, err
+	}
+	return topKOver(ctx, eng, cfg.Workers, cands, k)
+}
+
+// LinkWithinCtx is Pipeline.LinkWithinCtx against the view's frozen
+// state.
+func (v *QueryView) LinkWithinCtx(ctx context.Context, items []Term, cfg LinkerConfig) ([]Match, error) {
+	eng, err := v.engineFor(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("datalink: building linker: %w", err)
+	}
+	cands := map[Term][]Term{}
+	for _, item := range items {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cands[item] = candidatesIn(v.p.Classifier, v.se, v.ix, item)
+	}
+	return eng.LinkBestCtx(ctx, cands)
 }
 
 // linkerFor returns the engine for cfg, reusing the cached value index

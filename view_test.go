@@ -1,0 +1,137 @@
+package datalink
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// viewFixture builds a pipeline over a small typed corpus.
+func viewFixture(t *testing.T) (*Pipeline, LinkerConfig) {
+	t.Helper()
+	og := NewGraph()
+	cls := NewIRI("http://ex.org/onto#Resistor")
+	og.Add(T(cls, RDFType, OWLClass))
+	ol, err := OntologyFromGraph(og)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pn := NewIRI("http://ex.org/pn")
+	se, sl := NewGraph(), NewGraph()
+	var links []Link
+	for i := 0; i < 15; i++ {
+		e := NewIRI(fmt.Sprintf("http://ex.org/e/%d", i))
+		l := NewIRI(fmt.Sprintf("http://ex.org/l/%d", i))
+		se.Add(T(e, pn, NewLiteral(fmt.Sprintf("RES-%04d-X", i))))
+		sl.Add(T(l, pn, NewLiteral(fmt.Sprintf("RES-%04d-X", i))))
+		sl.Add(T(l, RDFType, cls))
+		links = append(links, Link{External: e, Local: l})
+	}
+	p, err := NewPipeline(LearnerConfig{SupportThreshold: 0.01}, TrainingSet{Links: links}, se, sl, ol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LinkerConfig{
+		Comparators: []Comparator{{ExternalProperty: pn, LocalProperty: pn, Measure: Levenshtein, Weight: 1}},
+		Threshold:   0.5,
+	}
+	return p, cfg
+}
+
+// TestQueryViewFrozen: a view keeps answering from its snapshot while
+// the live pipeline mutates, and a fresh view sees the mutation.
+func TestQueryViewFrozen(t *testing.T) {
+	p, cfg := viewFixture(t)
+	item := NewIRI("http://ex.org/e/3")
+	view := p.Snapshot()
+
+	want, err := view.LinkTopK(context.Background(), []Term{item}, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want[item]) == 0 {
+		t.Fatal("view query returned no matches")
+	}
+
+	// Live mutation: a new local item that matches e/3 exactly, plus the
+	// incremental maintenance a caller performs.
+	pn := NewIRI("http://ex.org/pn")
+	cls := NewIRI("http://ex.org/onto#Resistor")
+	newLoc := NewIRI("http://ex.org/l/new")
+	p.Local().Add(T(newLoc, pn, NewLiteral("RES-0003-X")))
+	p.Local().Add(T(newLoc, RDFType, cls))
+	p.Upsert(LocalSide, newLoc)
+
+	// The old view must not see it.
+	got, err := view.LinkTopK(context.Background(), []Term{item}, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("frozen view drifted after live mutation:\n got %+v\nwant %+v", got, want)
+	}
+	for _, m := range got[item] {
+		if m.Local == newLoc {
+			t.Fatal("frozen view returned a post-snapshot item")
+		}
+	}
+
+	// A fresh view must.
+	fresh, err := p.Snapshot().LinkTopK(context.Background(), []Term{item}, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range fresh[item] {
+		found = found || m.Local == newLoc
+	}
+	if !found {
+		t.Fatalf("fresh view missed the upserted item: %+v", fresh[item])
+	}
+}
+
+// TestQueryViewMatchesPipeline: with no interleaved mutation, the view's
+// results equal the pipeline's own.
+func TestQueryViewMatchesPipeline(t *testing.T) {
+	p, cfg := viewFixture(t)
+	items := p.External().AllSubjects()
+	want, err := p.LinkTopK(context.Background(), items, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Snapshot().LinkTopK(context.Background(), items, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("view results differ from pipeline results")
+	}
+	// LinkWithinCtx parity too.
+	wantBest, err := p.LinkWithinCtx(context.Background(), items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBest, err := p.Snapshot().LinkWithinCtx(context.Background(), items, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotBest, wantBest) {
+		t.Fatalf("view LinkWithinCtx differs from pipeline")
+	}
+}
+
+// TestQueryViewConfigError: invalid configs surface as ErrLinkerConfig,
+// the sentinel HTTP handlers classify as client errors.
+func TestQueryViewConfigError(t *testing.T) {
+	p, cfg := viewFixture(t)
+	cfg.Threshold = 3
+	_, err := p.Snapshot().LinkTopK(context.Background(), p.External().AllSubjects(), cfg, 1)
+	if err == nil {
+		t.Fatal("threshold 3 accepted")
+	}
+	if !errors.Is(err, ErrLinkerConfig) {
+		t.Fatalf("error %v does not wrap ErrLinkerConfig", err)
+	}
+}
