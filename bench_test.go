@@ -13,6 +13,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/segment"
 	"repro/internal/similarity"
+	"repro/internal/store"
 )
 
 // Benchmarks cover every experiment of DESIGN.md's index (E1-E6) plus the
@@ -729,5 +730,149 @@ func BenchmarkBlockingBigram(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Pairs(ext, loc)
+	}
+}
+
+// --- durability benchmarks (tentpole of the snapshot+WAL persistence):
+// the binary snapshot codec vs the N-Triples text path on the bench
+// corpus, and WAL append latency per mutation. ---
+
+// benchGraphs returns the bench corpus's two graphs (the data a service
+// checkpoint actually serializes).
+func benchGraphs(b *testing.B) (se, sl *rdf.Graph) {
+	c := corpusForBench(b)
+	return c.Dataset.External, c.Dataset.Local
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	se, sl := benchGraphs(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := rdf.EncodeSnapshot(&buf, se); err != nil {
+			b.Fatal(err)
+		}
+		if err := rdf.EncodeSnapshot(&buf, sl); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	se, sl := benchGraphs(b)
+	var seBuf, slBuf bytes.Buffer
+	if err := rdf.EncodeSnapshot(&seBuf, se); err != nil {
+		b.Fatal(err)
+	}
+	if err := rdf.EncodeSnapshot(&slBuf, sl); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(seBuf.Len() + slBuf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rdf.DecodeSnapshot(bytes.NewReader(seBuf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rdf.DecodeSnapshot(bytes.NewReader(slBuf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRoundTripBinary vs ...NTriples is the acceptance
+// comparison: full encode+decode of the bench corpus through each codec.
+func BenchmarkSnapshotRoundTripBinary(b *testing.B) {
+	se, sl := benchGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range []*rdf.Graph{se, sl} {
+			var buf bytes.Buffer
+			if err := rdf.EncodeSnapshot(&buf, g); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rdf.DecodeSnapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSnapshotRoundTripNTriples(b *testing.B) {
+	se, sl := benchGraphs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range []*rdf.Graph{se, sl} {
+			var buf bytes.Buffer
+			if err := rdf.WriteNTriples(&buf, g); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rdf.ReadNTriples(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// walAppendRecord mirrors a single-item service upsert, the WAL's
+// dominant record shape.
+func walAppendRecord(i int) *store.Record {
+	return &store.Record{
+		Op: store.OpUpsert,
+		Upsert: &store.UpsertOp{
+			Side: store.External,
+			Items: []store.Item{{
+				ID:    fmt.Sprintf("http://provider.example/item/D%06d", i),
+				Props: map[string][]string{"http://provider.example/prop#partNumber": {fmt.Sprintf("RES %04d TX99 B%d", i, i%7)}},
+			}},
+		},
+	}
+}
+
+func benchWALAppend(b *testing.B, mode store.FsyncMode) {
+	st, _, err := store.Open(b.TempDir(), store.Options{Fsync: mode, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Append(walAppendRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(st.Stats().WALBytes / int64(b.N))
+}
+
+func BenchmarkWALAppend(b *testing.B)       { benchWALAppend(b, store.FsyncNever) }
+func BenchmarkWALAppendAlways(b *testing.B) { benchWALAppend(b, store.FsyncAlways) }
+
+// BenchmarkSnapshotDecodeEager additionally materializes the deferred
+// POS and OSP indexes, measuring the full cost a recovery pays if every
+// query path gets exercised (the plain Decode bench is the boot cost).
+func BenchmarkSnapshotDecodeEager(b *testing.B) {
+	se, sl := benchGraphs(b)
+	var seBuf, slBuf bytes.Buffer
+	if err := rdf.EncodeSnapshot(&seBuf, se); err != nil {
+		b.Fatal(err)
+	}
+	if err := rdf.EncodeSnapshot(&slBuf, sl); err != nil {
+		b.Fatal(err)
+	}
+	obj := rdf.NewLiteral("no-such-object")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, enc := range [][]byte{seBuf.Bytes(), slBuf.Bytes()} {
+			g, err := rdf.DecodeSnapshot(bytes.NewReader(enc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g.Predicates()                                               // materialize POS
+			g.Match(rdf.Term{}, rdf.Term{}, obj, func(rdf.Triple) bool { // materialize OSP
+				return true
+			})
+		}
 	}
 }

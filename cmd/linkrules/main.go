@@ -128,6 +128,10 @@ service:
                           upsert/remove items, relearn rules, query
                           top-k links in the rule-reduced space
                           (see examples/service for a walkthrough)
+        -store DIR        durable mode: WAL + snapshot persistence with
+                          crash recovery (-fsync never|interval|always,
+                          -snapshot-every N); an existing store's state
+                          wins over the corpus flags
 
 common flags: -seed N, -scale paper|small, -links N, -catalog N`)
 }

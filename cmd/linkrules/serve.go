@@ -1,16 +1,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	datalink "repro"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // cmdServe starts the live linking service: an HTTP/JSON API over a
@@ -22,56 +26,157 @@ import (
 // With -learn (the default) the corpus's training links are learned at
 // startup, so the service answers link queries immediately; without it
 // the service starts empty-handed and expects POST /v1/learn.
+//
+// With -store DIR the service is durable: every mutation is written to a
+// WAL before it is applied, state is checkpointed into binary snapshots
+// (forced via POST /v1/admin/snapshot, automatic every -snapshot-every
+// mutations), and a restart recovers snapshot + WAL tail — a store
+// directory with existing state takes precedence over the corpus flags.
+// -fsync picks the WAL durability policy (never, interval, always).
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight requests get
+// a drain deadline and the WAL is flushed and synced before exit.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	cf := addCorpusFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	data := fs.String("data", "", "corpus directory from `linkrules datagen` (empty: generate from corpus flags)")
 	learn := fs.Bool("learn", true, "learn rules from the corpus training links at startup")
+	storeDir := fs.String("store", "", "durability directory (empty: ephemeral; existing state wins over corpus flags)")
+	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy: never, interval or always")
+	snapEvery := fs.Int("snapshot-every", 1024, "mutations between automatic snapshots (<0 disables)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 
-	var ds *datalink.Dataset
-	if *data != "" {
-		var err error
-		if ds, err = readDataset(*data); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "linkrules serve: loaded corpus from %s (SE %d, SL %d triples)\n",
-			*data, ds.External.Len(), ds.Local.Len())
-	} else {
-		cfg, err := cf.config()
+	opts := service.Options{
+		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
+		DefaultLinker: datalink.DefaultLinkingConfig(),
+	}
+
+	var svc *service.Service
+	if *storeDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncMode)
 		if err != nil {
 			return err
 		}
-		if ds, err = datalink.GenerateCorpus(cfg); err != nil {
+		st, rec, err := store.Open(*storeDir, store.Options{Fsync: mode, SnapshotEvery: *snapEvery})
+		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "linkrules serve: generated %s corpus, seed %d (SE %d, SL %d triples)\n",
-			cf.scale, cf.seed, ds.External.Len(), ds.Local.Len())
-	}
-
-	svc := service.New(ds.External, ds.Local, ds.Ontology, service.Options{
-		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
-		DefaultLinker: datalink.DefaultLinkingConfig(),
-	})
-	if *learn {
-		if err := svc.LearnLinks(ds.Training.Links); err != nil {
-			return fmt.Errorf("learning startup model: %w", err)
+		var seed *service.Seed
+		if rec.Empty() {
+			ds, err := loadOrGenerateCorpus(cf, *data)
+			if err != nil {
+				st.Close()
+				return err
+			}
+			seed = &service.Seed{External: ds.External, Local: ds.Local, Ontology: ds.Ontology}
+			if *learn {
+				seed.Training = ds.Training.Links
+			}
+		} else {
+			tail := len(rec.Tail)
+			snapSeq := uint64(0)
+			if rec.Snapshot != nil {
+				snapSeq = rec.Snapshot.Seq
+			}
+			fmt.Fprintf(os.Stderr, "linkrules serve: recovering from %s (snapshot seq %d, %d wal records", *storeDir, snapSeq, tail)
+			if rec.TornTail {
+				fmt.Fprint(os.Stderr, ", torn tail ignored")
+			}
+			fmt.Fprintln(os.Stderr, ")")
+			// An existing store's state wins over the corpus flags — that
+			// includes the learner config the persisted model was built
+			// with. A -th given on restart would silently relearn a
+			// different model than the one whose answers were acknowledged.
+			if cf.th != 0 {
+				fmt.Fprintf(os.Stderr, "linkrules serve: ignoring -th %g: the store's persisted learner config wins on recovery\n", cf.th)
+			}
+			opts.Learner = datalink.LearnerConfig{}
 		}
-		fmt.Fprintf(os.Stderr, "linkrules serve: learned rules from %d training links\n", ds.Training.Len())
+		if svc, err = service.Restore(st, rec, seed, opts); err != nil {
+			st.Close()
+			return err
+		}
+		stats := st.Stats()
+		fmt.Fprintf(os.Stderr, "linkrules serve: durable store at %s (fsync %s, seq %d, last snapshot %d)\n",
+			*storeDir, mode, stats.Seq, stats.LastSnapshotSeq)
+	} else {
+		ds, err := loadOrGenerateCorpus(cf, *data)
+		if err != nil {
+			return err
+		}
+		svc = service.New(ds.External, ds.Local, ds.Ontology, opts)
+		if *learn {
+			if err := svc.LearnLinks(ds.Training.Links); err != nil {
+				return fmt.Errorf("learning startup model: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "linkrules serve: learned rules from %d training links\n", ds.Training.Len())
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		svc.Close()
 		return err
 	}
 	// The resolved address goes to stdout so scripts (and the CLI smoke
 	// test) can pick up an ephemeral port.
 	fmt.Printf("listening on http://%s\n", ln.Addr())
 	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
-	return srv.Serve(ln)
+
+	// Serve until the listener fails or a signal asks for shutdown; then
+	// drain in-flight requests and sync the WAL before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+		stop() // a second signal kills the process the hard way
+		fmt.Fprintf(os.Stderr, "linkrules serve: signal received, draining (deadline %s)\n", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintf(os.Stderr, "linkrules serve: drain incomplete: %v\n", err)
+			srv.Close()
+		}
+		if err := svc.Close(); err != nil {
+			return fmt.Errorf("closing store: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "linkrules serve: shut down cleanly")
+		return nil
+	}
+}
+
+// loadOrGenerateCorpus resolves the corpus the flags describe: read from
+// a datagen directory, or generate in-process.
+func loadOrGenerateCorpus(cf *corpusFlags, data string) (*datalink.Dataset, error) {
+	if data != "" {
+		ds, err := readDataset(data)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "linkrules serve: loaded corpus from %s (SE %d, SL %d triples)\n",
+			data, ds.External.Len(), ds.Local.Len())
+		return ds, nil
+	}
+	cfg, err := cf.config()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := datalink.GenerateCorpus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "linkrules serve: generated %s corpus, seed %d (SE %d, SL %d triples)\n",
+		cf.scale, cf.seed, ds.External.Len(), ds.Local.Len())
+	return ds, nil
 }
 
 // readDataset loads the four N-Triples files `linkrules datagen` writes.

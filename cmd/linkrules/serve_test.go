@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuffer synchronizes the exec copier goroutine's writes with the
+// test's reads — reading a plain bytes.Buffer while the child still
+// writes is a data race under -race.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// serveProc is one running `linkrules serve` under test.
+type serveProc struct {
+	cmd    *exec.Cmd
+	base   string // http://host:port
+	stderr *lockedBuffer
+}
+
+// startServe launches the serve subcommand and waits for the printed
+// listen address.
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"serve", "-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr := &lockedBuffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, stderr: stderr}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			p.base = addr
+			return p
+		}
+	}
+	t.Fatalf("server never printed its address (stderr:\n%s)", stderr.String())
+	return nil
+}
+
+func (p *serveProc) get(t *testing.T, path string) string {
+	t.Helper()
+	resp, err := http.Get(p.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d %s", path, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+func (p *serveProc) post(t *testing.T, path, body string) string {
+	t.Helper()
+	resp, err := http.Post(p.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d %s", path, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// corpusArgs keeps the e2e corpora small enough for quick learning.
+var corpusArgs = []string{"-scale", "small", "-seed", "7", "-links", "150", "-catalog", "500"}
+
+// TestCLIServeCrashRecovery is the end-to-end durability proof: a served
+// corpus takes mutation traffic, the process is SIGKILLed mid-life, and
+// the restarted process — recovering purely from the store directory —
+// answers the same link queries byte-identically.
+func TestCLIServeCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := t.TempDir()
+	args := append([]string{"-store", dir, "-fsync", "always", "-snapshot-every", "5"}, corpusArgs...)
+
+	p := startServe(t, bin, args...)
+	// Mutation traffic: new items, an overwrite, a removal, extra links
+	// and a relearn — all of it must survive the kill.
+	p.post(t, "/v1/items/upsert", `{"side":"external","items":[
+		{"id":"http://provider.example/item/CRASH1","properties":{"http://provider.example/prop#partNumber":["AAA-111-B"]}},
+		{"id":"http://provider.example/item/CRASH2","properties":{"http://provider.example/prop#partNumber":["CCC-333-D"]}}]}`)
+	p.post(t, "/v1/items/upsert", `{"side":"external","items":[
+		{"id":"http://provider.example/item/CRASH1","properties":{"http://provider.example/prop#partNumber":["AAA-222-C"]}}]}`)
+	p.post(t, "/v1/items/remove", `{"side":"external","ids":["http://provider.example/item/D000001"]}`)
+	p.post(t, "/v1/learn", `{"links":[{"external":"http://provider.example/item/CRASH1","local":"http://catalog.example/item/C000003"}]}`)
+
+	const linkQuery = `{"items":["http://provider.example/item/CRASH1","http://provider.example/item/CRASH2","http://provider.example/item/D000000"],"top_k":3}`
+	before := p.post(t, "/v1/link", linkQuery)
+	rulesBefore := p.get(t, "/v1/rules")
+
+	// SIGKILL: no drain, no flush — only what the WAL already holds.
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = p.cmd.Process.Wait()
+
+	p2 := startServe(t, bin, args...)
+	if !strings.Contains(p2.stderr.String(), "recovering from") {
+		t.Fatalf("restart did not recover from the store:\n%s", p2.stderr.String())
+	}
+	after := p2.post(t, "/v1/link", linkQuery)
+	if after != before {
+		t.Errorf("link answers changed across crash recovery:\nbefore: %s\nafter:  %s", before, after)
+	}
+	if rulesAfter := p2.get(t, "/v1/rules"); rulesAfter != rulesBefore {
+		t.Errorf("rules changed across crash recovery:\nbefore: %s\nafter:  %s", rulesBefore, rulesAfter)
+	}
+	status := p2.get(t, "/v1/status")
+	if !strings.Contains(status, `"durability"`) {
+		t.Errorf("status lacks durability stats: %s", status)
+	}
+}
+
+// TestCLIServeGracefulShutdown sends SIGTERM and expects a clean drain:
+// exit code 0, the shutdown message, and — because the close path syncs
+// the WAL — the pre-shutdown mutations recovered on restart even with
+// -fsync never.
+func TestCLIServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := t.TempDir()
+	args := append([]string{"-store", dir, "-fsync", "never"}, corpusArgs...)
+
+	p := startServe(t, bin, args...)
+	p.post(t, "/v1/items/upsert", `{"side":"external","items":[
+		{"id":"http://provider.example/item/GRACE1","properties":{"http://provider.example/prop#partNumber":["GGG-777-Z"]}}]}`)
+	const linkQuery = `{"items":["http://provider.example/item/GRACE1"],"top_k":2}`
+	before := p.post(t, "/v1/link", linkQuery)
+
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v\n%s", err, p.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve did not exit within 30s of SIGTERM\n%s", p.stderr.String())
+	}
+	if !strings.Contains(p.stderr.String(), "shut down cleanly") {
+		t.Errorf("no clean-shutdown message:\n%s", p.stderr.String())
+	}
+
+	p2 := startServe(t, bin, args...)
+	after := p2.post(t, "/v1/link", linkQuery)
+	if after != before {
+		t.Errorf("mutation lost across graceful shutdown:\nbefore: %s\nafter:  %s", before, after)
+	}
+}

@@ -2,6 +2,8 @@ package rdf
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is an in-memory RDF triple store with three full indexes
@@ -19,6 +21,17 @@ type Graph struct {
 	pos cowIndex
 	osp cowIndex
 	n   int
+	// lazyPOS/lazyOSP are non-nil on bulk-loaded graphs (DecodeSnapshot)
+	// whose secondary indexes have not materialized yet: the SPO index
+	// is always built eagerly, while POS and OSP derive on first use
+	// from the retained packed keys. Loading nil is the fast path on
+	// every secondary-index read; the release store in materialize
+	// orders the index write before the pointer clear, so concurrent
+	// readers of a frozen bulk-loaded snapshot are safe. Mutations
+	// materialize both first (writeToken), so live graphs never update
+	// a deferred index.
+	lazyPOS atomic.Pointer[bulkState]
+	lazyOSP atomic.Pointer[bulkState]
 	// ver counts successful mutations, letting callers that snapshot
 	// derived state (e.g. the linkage value index) detect staleness
 	// cheaply via Version.
@@ -41,10 +54,118 @@ type Graph struct {
 // same address, which would alias distinct tokens.
 type mutToken struct{ _ byte }
 
-// bucket3 is a leaf set of third-position terms.
+// fewMax is the inline-leaf capacity: leaf sets at or below it live in a
+// linear-scanned slice instead of a map. Most leaves are tiny (an
+// object per (subject, predicate), a predicate per (object, subject)),
+// and a small slice costs one allocation and no hashing where a map
+// costs two allocations plus hashing — the difference dominates bulk
+// loads and GC pressure on large graphs.
+const fewMax = 8
+
+// bucket3 is a leaf set of third-position terms. Exactly one
+// representation is active: few for small sets, set once it outgrows
+// fewMax (it never demotes back). A nil *bucket3 behaves as empty for
+// reads.
 type bucket3 struct {
 	owner *mutToken
+	few   []Term
 	set   map[Term]struct{}
+}
+
+// size returns the number of terms in the leaf.
+func (b3 *bucket3) size() int {
+	if b3 == nil {
+		return 0
+	}
+	if b3.set != nil {
+		return len(b3.set)
+	}
+	return len(b3.few)
+}
+
+// has reports membership.
+func (b3 *bucket3) has(t Term) bool {
+	if b3 == nil {
+		return false
+	}
+	if b3.set != nil {
+		_, ok := b3.set[t]
+		return ok
+	}
+	for _, u := range b3.few {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+// each calls fn for every term until fn returns false; reports whether
+// the iteration ran to completion.
+func (b3 *bucket3) each(fn func(Term) bool) bool {
+	if b3 == nil {
+		return true
+	}
+	if b3.set != nil {
+		for t := range b3.set {
+			if !fn(t) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, t := range b3.few {
+		if !fn(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// insert adds t to an owned leaf, reporting whether it was absent.
+func (b3 *bucket3) insert(t Term) bool {
+	if b3.set == nil {
+		for _, u := range b3.few {
+			if u == t {
+				return false
+			}
+		}
+		if len(b3.few) < fewMax {
+			b3.few = append(b3.few, t)
+			return true
+		}
+		set := make(map[Term]struct{}, len(b3.few)+1)
+		for _, u := range b3.few {
+			set[u] = struct{}{}
+		}
+		b3.set, b3.few = set, nil
+	}
+	if _, dup := b3.set[t]; dup {
+		return false
+	}
+	b3.set[t] = struct{}{}
+	return true
+}
+
+// remove deletes t from an owned leaf, reporting whether it was present.
+func (b3 *bucket3) remove(t Term) bool {
+	if b3.set != nil {
+		if _, ok := b3.set[t]; !ok {
+			return false
+		}
+		delete(b3.set, t)
+		return true
+	}
+	for i, u := range b3.few {
+		if u == t {
+			last := len(b3.few) - 1
+			b3.few[i] = b3.few[last]
+			b3.few[last] = Term{} // release the strings
+			b3.few = b3.few[:last]
+			return true
+		}
+	}
+	return false
 }
 
 // b2ShardThreshold is the second-level size past which a bucket splits
@@ -60,27 +181,53 @@ type b2shard struct {
 	m     map[Term]*bucket3
 }
 
-// bucket2 is a second-level map: second key -> leaf bucket. Exactly one
-// of flat/shards is in use; n counts the distinct second keys.
+// b2FewMax is the inline capacity of a second-level bucket: up to this
+// many (second key, leaf) entries live in a linear-scanned slice, the
+// same trade as bucket3's few (a subject holds a handful of predicates;
+// an object is held by a handful of subjects).
+const b2FewMax = 4
+
+// b2entry is one inline second-level entry.
+type b2entry struct {
+	k Term
+	v *bucket3
+}
+
+// bucket2 is a second-level map: second key -> leaf bucket. At most one
+// of few/flat/shards is in use (all nil means an empty few bucket); n
+// counts the distinct second keys. Buckets grow monotonically through
+// the representations: few -> flat (past b2FewMax) -> shards (past
+// b2ShardThreshold, at the next copy-on-write).
 type bucket2 struct {
 	owner  *mutToken
 	n      int
+	few    []b2entry
 	flat   map[Term]*bucket3
 	shards *[shardCount]b2shard
 }
 
 // get returns the leaf bucket for second-key b, or nil.
 func (b2 *bucket2) get(b Term) *bucket3 {
-	if b2.shards != nil {
+	switch {
+	case b2.shards != nil:
 		return b2.shards[shardOf(b)].m[b]
+	case b2.flat != nil:
+		return b2.flat[b]
+	default:
+		for i := range b2.few {
+			if b2.few[i].k == b {
+				return b2.few[i].v
+			}
+		}
+		return nil
 	}
-	return b2.flat[b]
 }
 
 // each calls fn for every (second key, leaf) entry until fn returns
 // false; reports whether the iteration ran to completion.
 func (b2 *bucket2) each(fn func(Term, *bucket3) bool) bool {
-	if b2.shards != nil {
+	switch {
+	case b2.shards != nil:
 		for i := range b2.shards {
 			for k, v := range b2.shards[i].m {
 				if !fn(k, v) {
@@ -89,20 +236,28 @@ func (b2 *bucket2) each(fn func(Term, *bucket3) bool) bool {
 			}
 		}
 		return true
-	}
-	for k, v := range b2.flat {
-		if !fn(k, v) {
-			return false
+	case b2.flat != nil:
+		for k, v := range b2.flat {
+			if !fn(k, v) {
+				return false
+			}
 		}
+		return true
+	default:
+		for i := range b2.few {
+			if !fn(b2.few[i].k, b2.few[i].v) {
+				return false
+			}
+		}
+		return true
 	}
-	return true
 }
 
 // copyFor returns b2 if tok already owns it, else a writable copy owned
-// by tok: flat buckets copy (or split into shards past the threshold,
-// a one-time O(n) after which copies are per-shard), sharded buckets
-// copy only the 64-entry shard header — individual shard maps stay
-// shared until slot touches them.
+// by tok: few and flat buckets copy (flat splits into shards past the
+// threshold, a one-time O(n) after which copies are per-shard), sharded
+// buckets copy only the 64-entry shard header — individual shard maps
+// stay shared until slot touches them.
 func (b2 *bucket2) copyFor(tok *mutToken) *bucket2 {
 	if b2.owner == tok {
 		return b2
@@ -112,6 +267,10 @@ func (b2 *bucket2) copyFor(tok *mutToken) *bucket2 {
 	case b2.shards != nil:
 		shards := *b2.shards
 		c.shards = &shards
+	case b2.flat == nil:
+		// Fresh backing array: the snapshot must never see in-place
+		// leaf swaps or appends through a shared slice.
+		c.few = append(make([]b2entry, 0, len(b2.few)+1), b2.few...)
 	case b2.n >= b2ShardThreshold:
 		shards := new([shardCount]b2shard)
 		for k, v := range b2.flat {
@@ -133,8 +292,9 @@ func (b2 *bucket2) copyFor(tok *mutToken) *bucket2 {
 	return c
 }
 
-// slot returns the writable map holding second-key b. b2 must already be
-// owned by tok (see copyFor).
+// slot returns the writable map holding second-key b for the flat and
+// sharded representations. b2 must already be owned by tok (see
+// copyFor) and must not be in few form (see mutableLeaf).
 func (b2 *bucket2) slot(tok *mutToken, b Term) map[Term]*bucket3 {
 	if b2.shards == nil {
 		return b2.flat
@@ -150,6 +310,75 @@ func (b2 *bucket2) slot(tok *mutToken, b Term) map[Term]*bucket3 {
 	return s.m
 }
 
+// mutableLeaf returns the writable leaf for second-key b of an owned
+// bucket, creating or path-copying it as needed; created reports a new
+// entry. A few bucket promotes to flat when it outgrows b2FewMax.
+func (b2 *bucket2) mutableLeaf(tok *mutToken, b Term, create bool) (b3 *bucket3, created bool) {
+	if b2.flat == nil && b2.shards == nil {
+		for i := range b2.few {
+			if b2.few[i].k == b {
+				b3 := b2.few[i].v
+				if b3.owner != tok {
+					b3 = copyB3(tok, b3)
+					b2.few[i].v = b3
+				}
+				return b3, false
+			}
+		}
+		if !create {
+			return nil, false
+		}
+		if len(b2.few) < b2FewMax {
+			b3 := &bucket3{owner: tok}
+			b2.few = append(b2.few, b2entry{k: b, v: b3})
+			return b3, true
+		}
+		m := make(map[Term]*bucket3, len(b2.few)+1)
+		for _, e := range b2.few {
+			m[e.k] = e.v
+		}
+		b2.flat, b2.few = m, nil
+	}
+	return mutableB3(tok, b2.slot(tok, b), b, create)
+}
+
+// deleteLeaf drops second-key b from an owned bucket. The caller
+// adjusts n.
+func (b2 *bucket2) deleteLeaf(tok *mutToken, b Term) {
+	switch {
+	case b2.shards != nil:
+		delete(b2.slot(tok, b), b)
+	case b2.flat != nil:
+		delete(b2.flat, b)
+	default:
+		for i := range b2.few {
+			if b2.few[i].k == b {
+				last := len(b2.few) - 1
+				b2.few[i] = b2.few[last]
+				b2.few[last] = b2entry{} // release the strings and leaf
+				b2.few = b2.few[:last]
+				return
+			}
+		}
+	}
+}
+
+// copyB3 returns a writable copy of a leaf owned by tok.
+func copyB3(tok *mutToken, b3 *bucket3) *bucket3 {
+	c := &bucket3{owner: tok}
+	if b3.set != nil {
+		c.set = make(map[Term]struct{}, len(b3.set)+1)
+		for k := range b3.set {
+			c.set[k] = struct{}{}
+		}
+	} else {
+		// Fresh backing array: the snapshot's copy must never see
+		// appends or in-place removals through a shared slice.
+		c.few = append(make([]Term, 0, len(b3.few)+1), b3.few...)
+	}
+	return c
+}
+
 // mutableB3 returns the writable leaf for second-key b inside slot m,
 // creating or path-copying it as needed; created reports a new entry.
 func mutableB3(tok *mutToken, m map[Term]*bucket3, b Term, create bool) (b3 *bucket3, created bool) {
@@ -159,15 +388,11 @@ func mutableB3(tok *mutToken, m map[Term]*bucket3, b Term, create bool) (b3 *buc
 		if !create {
 			return nil, false
 		}
-		b3 = &bucket3{owner: tok, set: make(map[Term]struct{})}
+		b3 = &bucket3{owner: tok}
 		m[b] = b3
 		return b3, true
 	case b3.owner != tok:
-		set := make(map[Term]struct{}, len(b3.set)+1)
-		for k := range b3.set {
-			set[k] = struct{}{}
-		}
-		b3 = &bucket3{owner: tok, set: set}
+		b3 = copyB3(tok, b3)
 		m[b] = b3
 	}
 	return b3, false
@@ -232,7 +457,7 @@ func (ix *cowIndex) mutable(tok *mutToken, a Term) *cowShard {
 func (s *cowShard) mutableB2(tok *mutToken, a Term) *bucket2 {
 	b2 := s.m[a]
 	if b2 == nil {
-		b2 = &bucket2{owner: tok, flat: make(map[Term]*bucket3)}
+		b2 = &bucket2{owner: tok}
 		s.m[a] = b2
 		return b2
 	}
@@ -246,15 +471,11 @@ func (s *cowShard) mutableB2(tok *mutToken, a Term) *bucket2 {
 func (ix *cowIndex) add(tok *mutToken, a, b, c Term) bool {
 	s := ix.mutable(tok, a)
 	b2 := s.mutableB2(tok, a)
-	b3, created := mutableB3(tok, b2.slot(tok, b), b, true)
+	b3, created := b2.mutableLeaf(tok, b, true)
 	if created {
 		b2.n++
 	}
-	if _, dup := b3.set[c]; dup {
-		return false
-	}
-	b3.set[c] = struct{}{}
-	return true
+	return b3.insert(c)
 }
 
 func (ix *cowIndex) remove(tok *mutToken, a, b, c Term) bool {
@@ -263,11 +484,10 @@ func (ix *cowIndex) remove(tok *mutToken, a, b, c Term) bool {
 	}
 	s := ix.mutable(tok, a)
 	b2 := s.mutableB2(tok, a)
-	slot := b2.slot(tok, b)
-	b3, _ := mutableB3(tok, slot, b, false)
-	delete(b3.set, c)
-	if len(b3.set) == 0 {
-		delete(slot, b)
+	b3, _ := b2.mutableLeaf(tok, b, false)
+	b3.remove(c)
+	if b3.size() == 0 {
+		b2.deleteLeaf(tok, b)
 		b2.n--
 		if b2.n == 0 {
 			delete(s.m, a)
@@ -281,25 +501,16 @@ func (ix *cowIndex) has(a, b, c Term) bool {
 	if b2 == nil {
 		return false
 	}
-	b3 := b2.get(b)
-	if b3 == nil {
-		return false
-	}
-	_, ok := b3.set[c]
-	return ok
+	return b2.get(b).has(c)
 }
 
-// second returns the leaf set under (a, b), or nil.
-func (ix *cowIndex) second(a, b Term) map[Term]struct{} {
+// leaf returns the leaf under (a, b); a nil *bucket3 reads as empty.
+func (ix *cowIndex) leaf(a, b Term) *bucket3 {
 	b2 := ix.top(a)[a]
 	if b2 == nil {
 		return nil
 	}
-	b3 := b2.get(b)
-	if b3 == nil {
-		return nil
-	}
-	return b3.set
+	return b2.get(b)
 }
 
 // firstLen returns the number of distinct first keys.
@@ -352,7 +563,33 @@ func (g *Graph) Snapshot() *Graph {
 	if g.snap != nil && g.snapVer == g.ver {
 		return g.snap
 	}
-	snap := &Graph{spo: g.spo, pos: g.pos, osp: g.osp, n: g.n, ver: g.ver}
+	snap := &Graph{spo: g.spo, n: g.n, ver: g.ver}
+	// A still-deferred secondary index transfers to the snapshot: the
+	// retained keys match the frozen SPO state exactly as long as no
+	// mutation happened, and the first mutation materializes the live
+	// graph's indexes before touching anything. A concurrent READER may
+	// be materializing an index right now (ensurePOS/ensureOSP fill the
+	// shards under the bulk state's mutex before clearing the pointer),
+	// so each index copy and its pending-state load must happen under
+	// that same mutex — an unsynchronized copy could capture half-filled
+	// shards after the pointer already reads nil, leaving the snapshot's
+	// index permanently torn.
+	if bs := g.lazyPOS.Load(); bs != nil {
+		bs.mu.Lock()
+		snap.pos = g.pos
+		snap.lazyPOS.Store(g.lazyPOS.Load())
+		bs.mu.Unlock()
+	} else {
+		snap.pos = g.pos
+	}
+	if bs := g.lazyOSP.Load(); bs != nil {
+		bs.mu.Lock()
+		snap.osp = g.osp
+		snap.lazyOSP.Store(g.lazyOSP.Load())
+		bs.mu.Unlock()
+	} else {
+		snap.osp = g.osp
+	}
 	// Disown every bucket: the next mutation on the live graph copies
 	// before writing, so snap's view never changes.
 	g.mut = &mutToken{}
@@ -360,12 +597,58 @@ func (g *Graph) Snapshot() *Graph {
 	return snap
 }
 
+// bulkState is the deferred-construction state a bulk-loaded graph
+// carries until both secondary indexes materialize: the interned term
+// table and the sorted packed (s, p, o) keys. Both materializations
+// share one state and one mutex.
+type bulkState struct {
+	mu    sync.Mutex
+	table []Term
+	keys  []uint64
+}
+
+// ensurePOS materializes the POS index of a bulk-loaded graph. The nil
+// fast path makes this free on eagerly-built graphs; the slow path is
+// safe for concurrent readers of a frozen snapshot.
+func (g *Graph) ensurePOS() {
+	bs := g.lazyPOS.Load()
+	if bs == nil {
+		return
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if g.lazyPOS.Load() == nil { // built while we waited for the lock
+		return
+	}
+	fillIndexLazy(&g.pos, g.mut, bs, termBits, 0, 2*termBits) // p, o, s
+	g.lazyPOS.Store(nil)
+}
+
+// ensureOSP materializes the OSP index, like ensurePOS.
+func (g *Graph) ensureOSP() {
+	bs := g.lazyOSP.Load()
+	if bs == nil {
+		return
+	}
+	bs.mu.Lock()
+	defer bs.mu.Unlock()
+	if g.lazyOSP.Load() == nil {
+		return
+	}
+	fillIndexLazy(&g.osp, g.mut, bs, 0, 2*termBits, termBits) // o, s, p
+	g.lazyOSP.Store(nil)
+}
+
 // writeToken returns the token mutations must own, panicking on frozen
 // snapshots — silently dropping writes would corrupt derived state.
+// Deferred secondary indexes materialize here first: a mutation must
+// update all three indexes, so none may still be pending.
 func (g *Graph) writeToken() *mutToken {
 	if g.mut == nil {
 		panic("rdf: mutating a frozen graph snapshot")
 	}
+	g.ensurePOS()
+	g.ensureOSP()
 	return g.mut
 }
 
@@ -427,66 +710,52 @@ func (g *Graph) Match(s, p, o Term, fn func(Triple) bool) {
 			fn(Triple{s, p, o})
 		}
 	case !s.IsZero() && !p.IsZero():
-		for obj := range g.spo.second(s, p) {
-			if !fn(Triple{s, p, obj}) {
-				return
-			}
-		}
+		g.spo.leaf(s, p).each(func(obj Term) bool {
+			return fn(Triple{s, p, obj})
+		})
 	case !s.IsZero() && !o.IsZero():
-		for pred := range g.osp.second(o, s) {
-			if !fn(Triple{s, pred, o}) {
-				return
-			}
-		}
+		g.ensureOSP()
+		g.osp.leaf(o, s).each(func(pred Term) bool {
+			return fn(Triple{s, pred, o})
+		})
 	case !p.IsZero() && !o.IsZero():
-		for subj := range g.pos.second(p, o) {
-			if !fn(Triple{subj, p, o}) {
-				return
-			}
-		}
+		g.ensurePOS()
+		g.pos.leaf(p, o).each(func(subj Term) bool {
+			return fn(Triple{subj, p, o})
+		})
 	case !s.IsZero():
 		if b2 := g.spo.top(s)[s]; b2 != nil {
 			b2.each(func(pred Term, objs *bucket3) bool {
-				for obj := range objs.set {
-					if !fn(Triple{s, pred, obj}) {
-						return false
-					}
-				}
-				return true
+				return objs.each(func(obj Term) bool {
+					return fn(Triple{s, pred, obj})
+				})
 			})
 		}
 	case !p.IsZero():
+		g.ensurePOS()
 		if b2 := g.pos.top(p)[p]; b2 != nil {
 			b2.each(func(obj Term, subjs *bucket3) bool {
-				for subj := range subjs.set {
-					if !fn(Triple{subj, p, obj}) {
-						return false
-					}
-				}
-				return true
+				return subjs.each(func(subj Term) bool {
+					return fn(Triple{subj, p, obj})
+				})
 			})
 		}
 	case !o.IsZero():
+		g.ensureOSP()
 		if b2 := g.osp.top(o)[o]; b2 != nil {
 			b2.each(func(subj Term, preds *bucket3) bool {
-				for pred := range preds.set {
-					if !fn(Triple{subj, pred, o}) {
-						return false
-					}
-				}
-				return true
+				return preds.each(func(pred Term) bool {
+					return fn(Triple{subj, pred, o})
+				})
 			})
 		}
 	default:
 		for i := range g.spo.shards {
 			for subj, b2 := range g.spo.shards[i].m {
 				if !b2.each(func(pred Term, objs *bucket3) bool {
-					for obj := range objs.set {
-						if !fn(Triple{subj, pred, obj}) {
-							return false
-						}
-					}
-					return true
+					return objs.each(func(obj Term) bool {
+						return fn(Triple{subj, pred, obj})
+					})
 				}) {
 					return
 				}
@@ -509,11 +778,12 @@ func (g *Graph) Find(s, p, o Term) []Triple {
 
 // Objects returns the distinct objects of triples (s, p, ?o), sorted.
 func (g *Graph) Objects(s, p Term) []Term {
-	objs := g.spo.second(s, p)
-	out := make([]Term, 0, len(objs))
-	for o := range objs {
+	objs := g.spo.leaf(s, p)
+	out := make([]Term, 0, objs.size())
+	objs.each(func(o Term) bool {
 		out = append(out, o)
-	}
+		return true
+	})
 	sortTerms(out)
 	return out
 }
@@ -522,37 +792,40 @@ func (g *Graph) Objects(s, p Term) []Term {
 // When several objects exist the smallest in Term.Compare order is
 // returned, so the choice is deterministic.
 func (g *Graph) FirstObject(s, p Term) (Term, bool) {
-	objs := g.spo.second(s, p)
-	if len(objs) == 0 {
-		return Term{}, false
-	}
 	var best Term
 	first := true
-	for o := range objs {
+	g.spo.leaf(s, p).each(func(o Term) bool {
 		if first || o.Compare(best) < 0 {
 			best, first = o, false
 		}
-	}
-	return best, true
+		return true
+	})
+	return best, !first
 }
 
 // Subjects returns the distinct subjects of triples (?s, p, o), sorted.
 func (g *Graph) Subjects(p, o Term) []Term {
-	subjs := g.pos.second(p, o)
-	out := make([]Term, 0, len(subjs))
-	for s := range subjs {
+	g.ensurePOS()
+	subjs := g.pos.leaf(p, o)
+	out := make([]Term, 0, subjs.size())
+	subjs.each(func(s Term) bool {
 		out = append(out, s)
-	}
+		return true
+	})
 	sortTerms(out)
 	return out
 }
 
 // SubjectCount returns the number of distinct subjects of (?s, p, o)
 // without materializing them.
-func (g *Graph) SubjectCount(p, o Term) int { return len(g.pos.second(p, o)) }
+func (g *Graph) SubjectCount(p, o Term) int {
+	g.ensurePOS()
+	return g.pos.leaf(p, o).size()
+}
 
 // Predicates returns the distinct predicates used in the graph, sorted.
 func (g *Graph) Predicates() []Term {
+	g.ensurePOS()
 	out := make([]Term, 0, g.pos.firstLen())
 	for i := range g.pos.shards {
 		for p := range g.pos.shards[i].m {

@@ -1,0 +1,105 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Property tests for the text codecs: random graphs whose terms exercise
+// lang tags, datatypes, multi-byte runes, string escapes and blank nodes
+// must survive WriteNTriples→ReadNTriples and WriteTurtle→ReadTurtle
+// unchanged. The binary codec's equivalence test builds on the same
+// generators, so these ground both serialization paths.
+
+func TestNTriplesRoundTripRichTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for round := 0; round < 50; round++ {
+		g := genGraph(rng, 1+rng.Intn(80))
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			t.Fatalf("round %d: write: %v", round, err)
+		}
+		text := buf.String()
+		got, err := ReadNTriples(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: read: %v\n%s", round, err, text)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("round %d: round trip changed the graph\nwrote:\n%s\nwant %v\ngot  %v",
+				round, text, g.Triples(), got.Triples())
+		}
+	}
+}
+
+func TestTurtleRoundTripRichTerms(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for round := 0; round < 50; round++ {
+		g := genGraph(rng, 1+rng.Intn(80))
+		var buf bytes.Buffer
+		if err := WriteTurtle(&buf, g, TurtleWriterOptions{}); err != nil {
+			t.Fatalf("round %d: write: %v", round, err)
+		}
+		text := buf.String()
+		got, err := ReadTurtle(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round %d: parse: %v\n%s", round, err, text)
+		}
+		if !graphsEqual(g, got) {
+			t.Fatalf("round %d: round trip changed the graph\nwrote:\n%s\nwant %v\ngot  %v",
+				round, text, g.Triples(), got.Triples())
+		}
+	}
+}
+
+// TestTextCodecsEdgeTerms pins the specific term shapes the fuzzier
+// property tests sample from, so a regression names the failing shape.
+func TestTextCodecsEdgeTerms(t *testing.T) {
+	p := NewIRI("http://ex.org/p")
+	cases := []struct {
+		name string
+		o    Term
+	}{
+		{"plain", NewLiteral("simple")},
+		{"quotes", NewLiteral(`she said "hi" \ done`)},
+		{"newlines", NewLiteral("a\nb\rc\td")},
+		{"multibyte", NewLiteral("héllo 日本語 🙂")},
+		{"lang", NewLangLiteral("bonjour", "fr")},
+		{"lang subtag", NewLangLiteral("servus", "de-AT")},
+		{"typed", NewTypedLiteral("2024-01-01", "http://www.w3.org/2001/XMLSchema#date")},
+		{"xsd string folds", NewTypedLiteral("x", XSDString)},
+		{"blank object", NewBlank("b0")},
+		{"empty literal", NewLiteral("")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := NewGraph()
+			g.Add(T(NewIRI("http://ex.org/s"), p, tc.o))
+			g.Add(T(NewBlank("subj"), p, NewLiteral("blank subject")))
+
+			var nt bytes.Buffer
+			if err := WriteNTriples(&nt, g); err != nil {
+				t.Fatalf("nt write: %v", err)
+			}
+			fromNT, err := ReadNTriples(bytes.NewReader(nt.Bytes()))
+			if err != nil {
+				t.Fatalf("nt read: %v\n%s", err, nt.String())
+			}
+			if !graphsEqual(g, fromNT) {
+				t.Errorf("n-triples round trip changed the graph:\n%s", nt.String())
+			}
+
+			var ttl bytes.Buffer
+			if err := WriteTurtle(&ttl, g, TurtleWriterOptions{}); err != nil {
+				t.Fatalf("turtle write: %v", err)
+			}
+			fromTTL, err := ReadTurtle(bytes.NewReader(ttl.Bytes()))
+			if err != nil {
+				t.Fatalf("turtle parse: %v\n%s", err, ttl.String())
+			}
+			if !graphsEqual(g, fromTTL) {
+				t.Errorf("turtle round trip changed the graph:\n%s", ttl.String())
+			}
+		})
+	}
+}

@@ -1,0 +1,506 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	datalink "repro"
+	"repro/internal/store"
+)
+
+// durableOpts mirrors corpusService's configuration.
+func durableOpts() Options {
+	return Options{
+		Learner: datalink.LearnerConfig{SupportThreshold: 0.01},
+		DefaultLinker: datalink.LinkerConfig{
+			Comparators: []datalink.Comparator{{
+				ExternalProperty: datalink.NewIRI(pnProp),
+				LocalProperty:    datalink.NewIRI(pnProp),
+				Measure:          datalink.Levenshtein,
+				Weight:           1,
+			}},
+			Threshold: 0.5,
+		},
+	}
+}
+
+// corpusSeed builds the hand-written test corpus as a Seed.
+func corpusSeed(t *testing.T) *Seed {
+	t.Helper()
+	og := datalink.NewGraph()
+	for _, c := range []string{clsRes, clsCap} {
+		og.Add(datalink.T(datalink.NewIRI(c), datalink.RDFType, datalink.NewIRI("http://www.w3.org/2002/07/owl#Class")))
+	}
+	ol, err := datalink.OntologyFromGraph(og)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, sl := datalink.NewGraph(), datalink.NewGraph()
+	var links []datalink.Link
+	for i := 0; i < 20; i++ {
+		for _, kind := range []struct {
+			class, prefix, suffix string
+		}{{clsRes, "r", "RES"}, {clsCap, "c", "CAP"}} {
+			loc := datalink.NewIRI(fmt.Sprintf("http://ex.org/l/%s%d", kind.prefix, i))
+			ext := datalink.NewIRI(fmt.Sprintf("http://ex.org/e/%s%d", kind.prefix, i))
+			sl.Add(datalink.T(loc, datalink.NewIRI(pnProp), datalink.NewLiteral(fmt.Sprintf("%s-%04d-X", kind.suffix, i))))
+			sl.Add(datalink.T(loc, datalink.RDFType, datalink.NewIRI(kind.class)))
+			se.Add(datalink.T(ext, datalink.NewIRI(pnProp), datalink.NewLiteral(fmt.Sprintf("%s-%04d-Z", kind.suffix, i))))
+			if i < 10 {
+				links = append(links, datalink.Link{External: ext, Local: loc})
+			}
+		}
+	}
+	return &Seed{External: se, Local: sl, Ontology: ol, Training: links}
+}
+
+// crash simulates a SIGKILL of svc: nothing is closed, flushed or
+// synced, but background checkpoint goroutines are stopped — a real
+// kill terminates those too, and leaving them running would let the
+// dead process prune WAL segments under the recovered one's feet
+// (which two *processes* cannot do to each other).
+func crash(svc *Service) {
+	svc.mu.Lock()
+	svc.closing = true
+	svc.mu.Unlock()
+	svc.ckptWG.Wait()
+}
+
+// restoreService opens the store directory and restores a service over
+// it, failing the test on any error.
+func restoreService(t *testing.T, dir string, seed *Seed, sopts store.Options) *Service {
+	t.Helper()
+	st, rec, err := store.Open(dir, sopts)
+	if err != nil {
+		t.Fatalf("opening store: %v", err)
+	}
+	svc, err := Restore(st, rec, seed, durableOpts())
+	if err != nil {
+		t.Fatalf("restoring service: %v", err)
+	}
+	return svc
+}
+
+// graphText renders a published graph deterministically for comparison.
+func graphText(t *testing.T, g *datalink.Graph) string {
+	t.Helper()
+	var b strings.Builder
+	if err := datalink.WriteNTriples(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// serviceFingerprint captures everything the equivalence tests compare:
+// both graphs, the rule set response, and the top-k link response over
+// the full corpus.
+func serviceFingerprint(t *testing.T, s *Service) (ext, loc, rules, links string) {
+	t.Helper()
+	qs := s.state.Load()
+	ext = graphText(t, qs.se)
+	loc = graphText(t, qs.sl)
+	h := s.Handler()
+	rr := call(t, h, http.MethodGet, "/v1/rules", nil, nil)
+	rules = rr.Body.String()
+	lr := call(t, h, http.MethodPost, "/v1/link", map[string]any{"top_k": 3}, nil)
+	links = lr.Body.String()
+	return
+}
+
+// mutation is one scripted service mutation, applied over HTTP so both
+// the live and the durable service take the exact handler path.
+type mutation struct {
+	path string
+	body map[string]any
+}
+
+// randomMutations scripts n random upserts, removals and learns over the
+// corpus's item space.
+func randomMutations(rng *rand.Rand, n int) []mutation {
+	var muts []mutation
+	id := func(side, kind string, i int) string {
+		return fmt.Sprintf("http://ex.org/%s/%s%d", side, kind, i)
+	}
+	kinds := []struct {
+		prefix, suffix, class string
+	}{{"r", "RES", clsRes}, {"c", "CAP", clsCap}}
+	for len(muts) < n {
+		k := kinds[rng.Intn(2)]
+		i := rng.Intn(26) // hits existing items and creates new ones
+		switch rng.Intn(5) {
+		case 0, 1: // upsert external
+			muts = append(muts, mutation{"/v1/items/upsert", map[string]any{
+				"side": "external",
+				"items": []map[string]any{{
+					"id":         id("e", k.prefix, i),
+					"properties": map[string][]string{pnProp: {fmt.Sprintf("%s-%04d-%c", k.suffix, i, 'A'+rng.Intn(26))}},
+				}},
+			}})
+		case 2: // upsert local (with class)
+			muts = append(muts, mutation{"/v1/items/upsert", map[string]any{
+				"side": "local",
+				"items": []map[string]any{{
+					"id":         id("l", k.prefix, i),
+					"properties": map[string][]string{pnProp: {fmt.Sprintf("%s-%04d-%c", k.suffix, i, 'A'+rng.Intn(26))}},
+					"classes":    []string{k.class},
+				}},
+			}})
+		case 3: // remove (either side)
+			side, sid := "external", "e"
+			if rng.Intn(2) == 0 {
+				side, sid = "local", "l"
+			}
+			muts = append(muts, mutation{"/v1/items/remove", map[string]any{
+				"side": side,
+				"ids":  []string{id(sid, k.prefix, rng.Intn(26))},
+			}})
+		case 4: // learn a few more links
+			var ls []map[string]any
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				x := rng.Intn(20)
+				ls = append(ls, map[string]any{
+					"external": id("e", k.prefix, x),
+					"local":    id("l", k.prefix, x),
+				})
+			}
+			muts = append(muts, mutation{"/v1/learn", map[string]any{"links": ls}})
+		}
+	}
+	return muts
+}
+
+// applyMutation sends m to the handler; mutations may legitimately fail
+// (e.g. learning over links whose endpoints were removed), but both
+// services must fail identically, so the status code is returned.
+func applyMutation(t *testing.T, h http.Handler, m mutation) int {
+	t.Helper()
+	rr := call(t, h, http.MethodPost, m.path, m.body, nil)
+	return rr.Code
+}
+
+// TestCrashRecoveryEquivalence is the core durability property: a random
+// interleaving of upserts, removals and learns applied to (a) a live
+// ephemeral service and (b) a durable service that is "killed" (store
+// abandoned without close, as SIGKILL would) and recovered from
+// snapshot+WAL at a random cut point must leave both with identical
+// graphs, rules and top-k link results.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round=%d", round), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + round)))
+			seed := corpusSeed(t)
+
+			// Mirror: plain ephemeral service over an identical corpus.
+			mirrorSeed := corpusSeed(t)
+			mirror := New(mirrorSeed.External, mirrorSeed.Local, mirrorSeed.Ontology, durableOpts())
+			if err := mirror.LearnLinks(mirrorSeed.Training); err != nil {
+				t.Fatal(err)
+			}
+
+			dir := t.TempDir()
+			// FsyncAlways: every acknowledged mutation is durable, so the
+			// simulated SIGKILL (abandoning the store un-closed, buffers
+			// and all) must lose nothing.
+			sopts := store.Options{Fsync: store.FsyncAlways, SnapshotEvery: 7}
+			durable := restoreService(t, dir, seed, sopts)
+
+			muts := randomMutations(rng, 25)
+			cut := rng.Intn(len(muts) + 1)
+			for i, m := range muts {
+				if i == cut {
+					// Crash: no Close, no flush. Recover from disk alone.
+					crash(durable)
+					durable = restoreService(t, dir, nil, sopts)
+				}
+				mc := applyMutation(t, mirror.Handler(), m)
+				dc := applyMutation(t, durable.Handler(), m)
+				if mc != dc {
+					t.Fatalf("mutation %d (%s): mirror=%d durable=%d", i, m.path, mc, dc)
+				}
+			}
+			// One more recovery after the full script, covering a crash at
+			// the very end (cut == len(muts) covers pre-traffic recovery).
+			crash(durable)
+			durable = restoreService(t, dir, nil, sopts)
+
+			me, ml, mr, mk := serviceFingerprint(t, mirror)
+			de, dl, dr, dk := serviceFingerprint(t, durable)
+			if me != de {
+				t.Errorf("external graphs diverged after recovery (round %d)", round)
+			}
+			if ml != dl {
+				t.Errorf("local graphs diverged after recovery (round %d)", round)
+			}
+			if mr != dr {
+				t.Errorf("rules diverged after recovery (round %d):\nmirror:  %s\ndurable: %s", round, mr, dr)
+			}
+			if mk != dk {
+				t.Errorf("link results diverged after recovery (round %d):\nmirror:  %s\ndurable: %s", round, mk, dk)
+			}
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRestoreFromSeedAndReopen is the plain happy path: boot from seed,
+// mutate, close cleanly, reopen without a seed, answer identically.
+func TestRestoreFromSeedAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	sopts := store.Options{Fsync: store.FsyncNever}
+	svc := restoreService(t, dir, corpusSeed(t), sopts)
+
+	if code := applyMutation(t, svc.Handler(), mutation{"/v1/items/upsert", map[string]any{
+		"side": "external",
+		"items": []map[string]any{{
+			"id":         "http://ex.org/e/new1",
+			"properties": map[string][]string{pnProp: {"RES-0003-Q"}},
+		}},
+	}}); code != http.StatusOK {
+		t.Fatalf("upsert: %d", code)
+	}
+	e1, l1, r1, k1 := serviceFingerprint(t, svc)
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	svc2 := restoreService(t, dir, nil, sopts)
+	defer svc2.Close()
+	e2, l2, r2, k2 := serviceFingerprint(t, svc2)
+	if e1 != e2 || l1 != l2 || r1 != r2 || k1 != k2 {
+		t.Error("state diverged across clean close + reopen")
+	}
+
+	// The persisted rules text must match what the recovered model
+	// relearns — the snapshot's copy is the ground truth for audits.
+	st := svc2.Store()
+	stats := st.Stats()
+	if stats.LastSnapshotSeq == 0 && stats.Seq > 0 {
+		t.Errorf("no snapshot written: %+v", stats)
+	}
+}
+
+// TestRecoveryPreservesModelAcrossPostLearnMutations pins the learn-
+// basis invariant: item mutations after the last learn change the
+// graphs (and purge training links) without relearning, so a recovery
+// whose snapshot was taken after those mutations must NOT relearn over
+// the checkpoint state — it must reproduce the model as of the learn.
+func TestRecoveryPreservesModelAcrossPostLearnMutations(t *testing.T) {
+	mirror := New(corpusSeed(t).External, corpusSeed(t).Local, corpusSeed(t).Ontology, durableOpts())
+	if err := mirror.LearnLinks(corpusSeed(t).Training); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	svc := restoreService(t, dir, corpusSeed(t), store.Options{Fsync: store.FsyncAlways, SnapshotEvery: -1})
+
+	// Post-learn mutations on both: remove a linked local item (purges a
+	// training link) and add a fresh external item. Neither relearns.
+	muts := []mutation{
+		{"/v1/items/remove", map[string]any{"side": "local", "ids": []string{"http://ex.org/l/r1"}}},
+		{"/v1/items/upsert", map[string]any{"side": "external", "items": []map[string]any{{
+			"id": "http://ex.org/e/extra", "properties": map[string][]string{pnProp: {"CAP-0099-Z"}},
+		}}}},
+	}
+	for _, m := range muts {
+		if mc, dc := applyMutation(t, mirror.Handler(), m), applyMutation(t, svc.Handler(), m); mc != dc || mc != http.StatusOK {
+			t.Fatalf("%s: mirror=%d durable=%d", m.path, mc, dc)
+		}
+	}
+	// Checkpoint AFTER the post-learn mutations, then crash: recovery
+	// sees only this snapshot (no WAL tail with the learn in it).
+	if _, err := svc.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	crash(svc)
+
+	recovered := restoreService(t, dir, nil, store.Options{Fsync: store.FsyncAlways, SnapshotEvery: -1})
+	defer recovered.Close()
+	me, ml, mr, mk := serviceFingerprint(t, mirror)
+	de, dl, dr, dk := serviceFingerprint(t, recovered)
+	if me != de || ml != dl {
+		t.Error("graphs diverged after recovery")
+	}
+	if mr != dr {
+		t.Errorf("rules diverged: recovery relearned over post-learn state\nmirror:  %s\ndurable: %s", mr, dr)
+	}
+	if mk != dk {
+		t.Errorf("link results diverged:\nmirror:  %s\ndurable: %s", mk, dk)
+	}
+}
+
+// TestRestoreAdoptsPersistedLinker proves a recovered deployment keeps
+// its comparator config when the caller supplies none.
+func TestRestoreAdoptsPersistedLinker(t *testing.T) {
+	dir := t.TempDir()
+	sopts := store.Options{Fsync: store.FsyncNever}
+	svc := restoreService(t, dir, corpusSeed(t), sopts)
+	want := call(t, svc.Handler(), http.MethodPost, "/v1/link", map[string]any{"top_k": 2}, nil).Body.String()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rec, err := store.Open(dir, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No DefaultLinker in the options: it must come from the snapshot.
+	svc2, err := Restore(st, rec, nil, Options{Learner: datalink.LearnerConfig{SupportThreshold: 0.01}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	got := call(t, svc2.Handler(), http.MethodPost, "/v1/link", map[string]any{"top_k": 2}, nil)
+	if got.Code != http.StatusOK {
+		t.Fatalf("link after restore without linker config: %d %s", got.Code, got.Body.String())
+	}
+	if got.Body.String() != want {
+		t.Errorf("adopted linker answers differently:\nwant %s\ngot  %s", want, got.Body.String())
+	}
+}
+
+// TestRestoreAdoptsPersistedLearner proves a restart with default flags
+// relearns with the learner config the model was built with, not this
+// process's defaults — otherwise the recovered rules silently differ.
+func TestRestoreAdoptsPersistedLearner(t *testing.T) {
+	dir := t.TempDir()
+	sopts := store.Options{Fsync: store.FsyncNever}
+	svc := restoreService(t, dir, corpusSeed(t), sopts) // th = 0.01 via durableOpts
+	wantRules := call(t, svc.Handler(), http.MethodGet, "/v1/rules", nil, nil).Body.String()
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, rec, err := store.Open(dir, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completely empty options: learner AND linker must come from the
+	// snapshot.
+	svc2, err := Restore(st, rec, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	gotRules := call(t, svc2.Handler(), http.MethodGet, "/v1/rules", nil, nil).Body.String()
+	if gotRules != wantRules {
+		t.Errorf("recovered rules differ under default learner config:\nwant %s\ngot  %s", wantRules, gotRules)
+	}
+}
+
+// TestAdminSnapshotEndpoint forces checkpoints over HTTP and reads the
+// durability stats back from /v1/status.
+func TestAdminSnapshotEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	svc := restoreService(t, dir, corpusSeed(t), store.Options{Fsync: store.FsyncNever, SnapshotEvery: -1})
+	defer svc.Close()
+	h := svc.Handler()
+
+	applyMutation(t, h, mutation{"/v1/items/remove", map[string]any{
+		"side": "external", "ids": []string{"http://ex.org/e/r0"},
+	}})
+
+	var snapResp snapshotResponse
+	rr := call(t, h, http.MethodPost, "/v1/admin/snapshot", nil, &snapResp)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("admin snapshot: %d %s", rr.Code, rr.Body.String())
+	}
+	if snapResp.SnapshotSeq == 0 {
+		t.Errorf("snapshot covered seq 0 after a mutation: %+v", snapResp)
+	}
+
+	var status statusResponse
+	call(t, h, http.MethodGet, "/v1/status", nil, &status)
+	if status.Durability == nil {
+		t.Fatal("durable service reports no durability stats")
+	}
+	if status.Durability.WALRecords != 0 {
+		t.Errorf("wal_records = %d right after checkpoint", status.Durability.WALRecords)
+	}
+	if status.Durability.LastSnapshotSeq != snapResp.SnapshotSeq {
+		t.Errorf("status snapshot seq %d != admin response %d",
+			status.Durability.LastSnapshotSeq, snapResp.SnapshotSeq)
+	}
+	if status.Durability.Dir != dir {
+		t.Errorf("durability dir %q, want %q", status.Durability.Dir, dir)
+	}
+}
+
+// TestAdminSnapshotEphemeral409 pins the conflict answer for services
+// without a store.
+func TestAdminSnapshotEphemeral409(t *testing.T) {
+	svc := corpusService(t)
+	rr := call(t, svc.Handler(), http.MethodPost, "/v1/admin/snapshot", nil, nil)
+	if rr.Code != http.StatusConflict {
+		t.Fatalf("admin snapshot on ephemeral service: %d, want 409", rr.Code)
+	}
+	var status statusResponse
+	call(t, svc.Handler(), http.MethodGet, "/v1/status", nil, &status)
+	if status.Durability != nil {
+		t.Error("ephemeral service reports durability stats")
+	}
+}
+
+// TestOversizedBodyRejected413 pins the MaxBytesReader behavior: a body
+// over the configured cap answers 413 without reading it all.
+func TestOversizedBodyRejected413(t *testing.T) {
+	seed := corpusSeed(t)
+	opts := durableOpts()
+	opts.MaxBodyBytes = 1024
+	svc := New(seed.External, seed.Local, seed.Ontology, opts)
+
+	big := strings.Repeat("x", 4096)
+	rr := call(t, svc.Handler(), http.MethodPost, "/v1/items/upsert", map[string]any{
+		"side": "external",
+		"items": []map[string]any{{
+			"id":         "http://ex.org/e/huge",
+			"properties": map[string][]string{pnProp: {big}},
+		}},
+	}, nil)
+	if rr.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413 (%s)", rr.Code, rr.Body.String())
+	}
+	// Nothing may have been applied.
+	var status statusResponse
+	call(t, svc.Handler(), http.MethodGet, "/v1/status", nil, &status)
+	if status.ExternalVersion != seed.External.Version() {
+		t.Error("oversized request mutated the graph")
+	}
+}
+
+// TestAutomaticCheckpoint proves SnapshotEvery triggers checkpoints from
+// the mutation path without any admin call.
+func TestAutomaticCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	svc := restoreService(t, dir, corpusSeed(t), store.Options{Fsync: store.FsyncNever, SnapshotEvery: 3})
+	defer svc.Close()
+	h := svc.Handler()
+	for i := 0; i < 12; i++ {
+		code := applyMutation(t, h, mutation{"/v1/items/upsert", map[string]any{
+			"side": "external",
+			"items": []map[string]any{{
+				"id":         fmt.Sprintf("http://ex.org/e/auto%d", i),
+				"properties": map[string][]string{pnProp: {fmt.Sprintf("RES-%04d-A", i)}},
+			}},
+		}})
+		if code != http.StatusOK {
+			t.Fatalf("upsert %d: %d", i, code)
+		}
+	}
+	// Checkpoints run in the background; Close waits for the in-flight
+	// one, which is exactly the synchronization a shutdown needs too.
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	stats := svc.Store().Stats()
+	if stats.Checkpoints < 2 {
+		t.Errorf("expected automatic checkpoints, got stats %+v", stats)
+	}
+	if got := svc.lastCheckpointError(); got != "" {
+		t.Errorf("checkpoint error: %s", got)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	datalink "repro"
+	"repro/internal/store"
 )
 
 // writeJSON encodes v with the given status code.
@@ -29,23 +30,39 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // decode parses a JSON request body strictly (unknown fields are
-// rejected, catching typo'd options early) under the service's size cap.
-// The body must be exactly one JSON value: trailing data after it —
-// which json.Decoder would otherwise silently ignore, accepting e.g.
-// two concatenated objects and applying only the first — is a 400.
+// rejected, catching typo'd options early) under the service's size cap
+// (Options.MaxBodyBytes, default 8 MiB): http.MaxBytesReader stops
+// reading at the cap, so an oversized body is rejected with 413 instead
+// of being buffered into memory. The body must be exactly one JSON
+// value: trailing data after it — which json.Decoder would otherwise
+// silently ignore, accepting e.g. two concatenated objects and applying
+// only the first — is a 400.
 func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeDecodeErr(w, err, "decoding request: %v", err)
 		return false
 	}
 	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
-		writeErr(w, http.StatusBadRequest, "decoding request: trailing data after JSON body")
+		writeDecodeErr(w, err, "decoding request: trailing data after JSON body")
 		return false
 	}
 	return true
+}
+
+// writeDecodeErr classifies a body-decoding failure: hitting the
+// MaxBytesReader cap is 413, anything else is a 400 with the given
+// message.
+func writeDecodeErr(w http.ResponseWriter, err error, format string, args ...any) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds %d bytes", tooBig.Limit)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, format, args...)
 }
 
 // parseSide maps the wire name to a Side.
@@ -64,16 +81,25 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }
 
-// statusResponse reports corpus and model state.
+// statusResponse reports corpus, model and durability state.
 type statusResponse struct {
-	ExternalTriples int      `json:"external_triples"`
-	LocalTriples    int      `json:"local_triples"`
-	ExternalVersion uint64   `json:"external_version"`
-	LocalVersion    uint64   `json:"local_version"`
-	TrainingLinks   int      `json:"training_links"`
-	Learned         bool     `json:"learned"`
-	Rules           int      `json:"rules"`
-	Measures        []string `json:"measures"`
+	ExternalTriples int             `json:"external_triples"`
+	LocalTriples    int             `json:"local_triples"`
+	ExternalVersion uint64          `json:"external_version"`
+	LocalVersion    uint64          `json:"local_version"`
+	TrainingLinks   int             `json:"training_links"`
+	Learned         bool            `json:"learned"`
+	Rules           int             `json:"rules"`
+	Measures        []string        `json:"measures"`
+	Durability      *durabilityJSON `json:"durability,omitempty"`
+}
+
+// durabilityJSON is the status view of the store: WAL and snapshot
+// counters plus the last checkpoint failure, if any.
+type durabilityJSON struct {
+	store.Stats
+	Dir                 string `json:"dir"`
+	LastCheckpointError string `json:"last_checkpoint_error,omitempty"`
 }
 
 func (s *Service) handleStatus(w http.ResponseWriter, _ *http.Request) {
@@ -89,6 +115,13 @@ func (s *Service) handleStatus(w http.ResponseWriter, _ *http.Request) {
 	}
 	if qs.pipe != nil {
 		resp.Rules = qs.pipe.Model.Rules.Len()
+	}
+	if s.st != nil {
+		resp.Durability = &durabilityJSON{
+			Stats:               s.st.Stats(),
+			Dir:                 s.st.Dir(),
+			LastCheckpointError: s.lastCheckpointError(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -125,41 +158,29 @@ func (s *Service) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no items given")
 		return
 	}
-	// Validate the whole batch before touching the graphs, so a 400
-	// response means no data changed.
-	terms := make([]datalink.Term, 0, len(req.Items))
+	// Validate the whole batch before building the mutation record, so a
+	// 400 response means nothing was logged or changed.
+	items := make([]store.Item, 0, len(req.Items))
 	for i, it := range req.Items {
 		if it.ID == "" {
 			writeErr(w, http.StatusBadRequest, "item %d: id is required", i)
 			return
 		}
-		term := datalink.NewIRI(it.ID)
-		if err := validateItem(side, term, it.Properties, it.Classes); err != nil {
+		if err := validateItem(side, datalink.NewIRI(it.ID), it.Properties, it.Classes); err != nil {
 			writeErr(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		terms = append(terms, term)
+		items = append(items, store.Item{ID: it.ID, Props: it.Properties, Classes: it.Classes})
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, it := range req.Items {
-		s.replaceItemLocked(side, terms[i], it.Properties, it.Classes)
+	res, err := s.commit(&store.Record{
+		Op:     store.OpUpsert,
+		Upsert: &store.UpsertOp{Side: sideToStore(side), Items: items},
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	}
-	// Push the mutation into the cached linker and the instance index
-	// incrementally (per item — no rebuild of either), then publish a
-	// fresh frozen view for queries.
-	if s.pipe != nil {
-		s.pipe.Upsert(side, terms...)
-		if side == datalink.LocalSide {
-			s.freezeInstancesLocked()
-		}
-	}
-	g := s.se
-	if side == datalink.LocalSide {
-		g = s.sl
-	}
-	s.publishLocked()
-	writeJSON(w, http.StatusOK, upsertResponse{Upserted: len(req.Items), Version: g.Version()})
+	writeJSON(w, http.StatusOK, upsertResponse{Upserted: res.upserted, Version: res.version})
 }
 
 type removeRequest struct {
@@ -190,36 +211,15 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no ids given")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	g := s.se
-	if side == datalink.LocalSide {
-		g = s.sl
+	res, err := s.commit(&store.Record{
+		Op:     store.OpRemove,
+		Remove: &store.RemoveOp{Side: sideToStore(side), IDs: req.IDs},
+	})
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
 	}
-	terms := make([]datalink.Term, 0, len(req.IDs))
-	gone := make(map[datalink.Term]struct{}, len(req.IDs))
-	removed := 0
-	for _, id := range req.IDs {
-		item := datalink.NewIRI(id)
-		terms = append(terms, item)
-		gone[item] = struct{}{}
-		trs := g.Find(item, datalink.Term{}, datalink.Term{})
-		for _, tr := range trs {
-			g.Remove(tr)
-		}
-		if len(trs) > 0 {
-			removed++
-		}
-	}
-	purged := s.purgeLinksLocked(side, gone)
-	if s.pipe != nil {
-		s.pipe.RemoveItems(side, terms...)
-		if side == datalink.LocalSide {
-			s.freezeInstancesLocked()
-		}
-	}
-	s.publishLocked()
-	writeJSON(w, http.StatusOK, removeResponse{Removed: removed, Version: g.Version(), PurgedLinks: purged})
+	writeJSON(w, http.StatusOK, removeResponse{Removed: res.removed, Version: res.version, PurgedLinks: res.purged})
 }
 
 // purgeLinksLocked drops accumulated training links whose endpoint on
@@ -267,35 +267,33 @@ func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	links := make([]datalink.Link, 0, len(req.Links))
+	refs := make([]store.LinkRef, 0, len(req.Links))
 	for i, l := range req.Links {
 		if l.External == "" || l.Local == "" {
 			writeErr(w, http.StatusBadRequest, "link %d: external and local are required", i)
 			return
 		}
-		links = append(links, datalink.Link{
+		refs = append(refs, refFromLink(datalink.Link{
 			External: datalink.NewIRI(l.External),
 			Local:    datalink.NewIRI(l.Local),
-		})
+		}))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	prev := s.links
-	if req.Replace {
-		s.links = links
-	} else {
-		s.links = append(append([]datalink.Link(nil), s.links...), links...)
-	}
-	if err := s.learnLocked(); err != nil {
-		s.links = prev // learning failed; keep the old state queryable
+	res, err := s.commit(&store.Record{
+		Op:    store.OpLearn,
+		Learn: &store.LearnOp{Replace: req.Replace, Links: refs},
+	})
+	if err != nil {
+		if errors.Is(err, errPersist) {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, "learning: %v", err)
 		return
 	}
-	s.publishLocked()
 	writeJSON(w, http.StatusOK, learnResponse{
-		TrainingLinks: len(s.links),
-		Rules:         s.pipe.Model.Rules.Len(),
-		Segments:      s.pipe.Model.Stats.DistinctSegments,
+		TrainingLinks: res.links,
+		Rules:         res.rules,
+		Segments:      res.segments,
 	})
 }
 
@@ -426,4 +424,26 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Item < results[j].Item })
 	writeJSON(w, http.StatusOK, linkResponse{Results: results})
+}
+
+// snapshotResponse reports a forced checkpoint.
+type snapshotResponse struct {
+	SnapshotSeq uint64      `json:"snapshot_seq"`
+	Stats       store.Stats `json:"stats"`
+}
+
+// handleAdminSnapshot forces a durability checkpoint: rotate the WAL,
+// snapshot the published state, prune superseded files. 409 when the
+// service is ephemeral or a checkpoint is already running.
+func (s *Service) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
+	stats, err := s.Checkpoint()
+	switch {
+	case errors.Is(err, ErrNotDurable), errors.Is(err, ErrCheckpointBusy):
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, snapshotResponse{SnapshotSeq: stats.LastSnapshotSeq, Stats: stats})
 }

@@ -30,15 +30,27 @@
 // Link queries run under the request's context, so a dropped connection
 // cancels in-flight scoring.
 //
+// # Durable mode
+//
+// A service built with Restore is bound to an internal/store durability
+// directory: every mutation is appended to a CRC-framed write-ahead log
+// before it is applied (one choke point, commit, shared by HTTP
+// handlers, LearnLinks and recovery replay), and checkpoints serialize
+// the published copy-on-write bundle into binary snapshots without
+// blocking writers. A restarted process replays snapshot + WAL tail and
+// answers queries exactly as the old one did; see durable.go and
+// internal/store.
+//
 // # Endpoints
 //
-//	GET  /healthz           liveness probe
-//	GET  /v1/status         corpus sizes, versions, model state
-//	POST /v1/items/upsert   replace item descriptions on one side
-//	POST /v1/items/remove   remove items (and their training links) on one side
-//	POST /v1/learn          learn rules from labeled same-as links
-//	GET  /v1/rules          the learned rule set
-//	POST /v1/link           top-k links for items, in their reduced space
+//	GET  /healthz            liveness probe
+//	GET  /v1/status          corpus sizes, versions, model and durability state
+//	POST /v1/items/upsert    replace item descriptions on one side
+//	POST /v1/items/remove    remove items (and their training links) on one side
+//	POST /v1/learn           learn rules from labeled same-as links
+//	GET  /v1/rules           the learned rule set
+//	POST /v1/link            top-k links for items, in their reduced space
+//	POST /v1/admin/snapshot  force a durability checkpoint
 //
 // See examples/service for a runnable walkthrough.
 package service
@@ -50,6 +62,7 @@ import (
 	"sync/atomic"
 
 	datalink "repro"
+	"repro/internal/store"
 )
 
 // Options configures a Service.
@@ -81,10 +94,28 @@ type Service struct {
 	ol    *datalink.Ontology
 	links []datalink.Link
 	pipe  *datalink.Pipeline
+	// basis captures exactly what the current model was learned from
+	// (O(1) frozen graph views + the links of that learn). Item
+	// mutations after a learn change the graphs and can purge links
+	// without relearning, so the basis — not the current state — is what
+	// durable recovery must relearn over to reproduce the model.
+	basis *learnBasis
 
 	// state is the published immutable view every query runs against.
 	// Writers replace it wholesale after each mutation.
 	state atomic.Pointer[queryState]
+
+	// st is the durability store; nil means ephemeral mode. When set,
+	// every mutation is WAL-logged through commit before it is applied
+	// (see durable.go), and checkpoints snapshot the published state.
+	st       *store.Store
+	ckptBusy atomic.Bool
+	ckptWG   sync.WaitGroup
+	ckptErr  atomic.Value // string: last checkpoint failure, "" = ok
+	// closing stops new background checkpoints from being spawned (set
+	// under mu by Close before it waits on ckptWG, so the wait cannot
+	// race a concurrent Add).
+	closing bool
 }
 
 // queryState is one published point-in-time view: frozen copy-on-write
@@ -138,18 +169,25 @@ func (s *Service) publishLocked() {
 
 // LearnLinks appends labeled links and relearns the model — the
 // programmatic equivalent of POST /v1/learn, for seeding a service with
-// an existing training set at startup.
+// an existing training set at startup. Like every mutation it flows
+// through the logged choke point, so in durable mode the links survive a
+// restart.
 func (s *Service) LearnLinks(links []datalink.Link) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	prev := s.links
-	s.links = append(append([]datalink.Link(nil), s.links...), links...)
-	if err := s.learnLocked(); err != nil {
-		s.links = prev // learning failed; keep the old state queryable
-		return err
+	refs := make([]store.LinkRef, 0, len(links))
+	for _, l := range links {
+		refs = append(refs, refFromLink(l))
 	}
-	s.publishLocked()
-	return nil
+	_, err := s.commit(&store.Record{Op: store.OpLearn, Learn: &store.LearnOp{Links: refs}})
+	return err
+}
+
+// learnBasis is the frozen input of one successful learn: copy-on-write
+// graph views and the training links at that moment. Slice elements are
+// values and every mutation path replaces s.links wholesale, so holding
+// the slice is safe.
+type learnBasis struct {
+	se, sl *datalink.Graph
+	links  []datalink.Link
 }
 
 // Learn (re)learns the model from the accumulated links, swaps in a
@@ -157,12 +195,23 @@ func (s *Service) LearnLinks(links []datalink.Link) error {
 // published state never read live data. Callers must hold the write
 // lock and publish afterwards.
 func (s *Service) learnLocked() error {
-	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), s.links...)}
-	p, err := datalink.NewPipeline(s.opts.Learner, ts, s.se, s.sl, s.ol)
+	return s.learnBasisLocked(&learnBasis{se: s.se.Snapshot(), sl: s.sl.Snapshot(), links: s.links})
+}
+
+// learnBasisLocked learns the model from an explicit basis — the live
+// state for ordinary learns, a snapshot's persisted basis for durable
+// recovery — and installs a pipeline over the live graphs. Learning is
+// deterministic in the basis, so equal bases yield equal models. On
+// failure the previous model and basis stay in place. Callers must hold
+// the write lock.
+func (s *Service) learnBasisLocked(b *learnBasis) error {
+	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), b.links...)}
+	m, err := datalink.Learn(s.opts.Learner, ts, b.se, b.sl, s.ol)
 	if err != nil {
 		return err
 	}
-	s.pipe = p
+	s.pipe = datalink.NewPipelineWithModel(m, s.se, s.sl, s.ol)
+	s.basis = b
 	s.freezeInstancesLocked()
 	// Warm the engine cache for the default comparators on the write
 	// path, so default-config queries hit CachedLinker instead of
@@ -209,14 +258,13 @@ func validateItem(side datalink.Side, item datalink.Term, props map[string][]str
 	return nil
 }
 
-// replaceItem swaps an item's triples for the given (already validated)
-// description on one side of the corpus. Callers must hold the write
-// lock.
+// replaceItemLocked swaps an item's triples for the given (already
+// validated) description on one side of the corpus. It is only ever
+// reached from applyLocked — the logged-mutation choke point — so every
+// path that calls it (HTTP upsert, recovery replay) hits the same code.
+// Callers must hold the write lock.
 func (s *Service) replaceItemLocked(side datalink.Side, item datalink.Term, props map[string][]string, classes []string) {
-	g := s.se
-	if side == datalink.LocalSide {
-		g = s.sl
-	}
+	g := s.graphLocked(side)
 	for _, tr := range g.Find(item, datalink.Term{}, datalink.Term{}) {
 		g.Remove(tr)
 	}
@@ -243,5 +291,6 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/learn", s.handleLearn)
 	mux.HandleFunc("GET /v1/rules", s.handleRules)
 	mux.HandleFunc("POST /v1/link", s.handleLink)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
 	return mux
 }

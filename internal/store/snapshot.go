@@ -1,0 +1,298 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/rdf"
+)
+
+// snapMagic heads every snapshot file.
+const snapMagic = "LNKSNAP1"
+
+// Snapshot section types. Part of the on-disk format.
+const (
+	secExternal      byte = 1 // external graph, rdf binary codec
+	secLocal         byte = 2 // local graph, rdf binary codec
+	secOntology      byte = 3 // ontology as a graph, rdf binary codec
+	secLinks         byte = 4 // ordered training links
+	secMeta          byte = 5 // JSON metadata
+	secLearnExternal byte = 6 // learn-time external graph, when != secExternal
+	secLearnLocal    byte = 7 // learn-time local graph, when != secLocal
+	secLearnLinks    byte = 8 // learn-time training links
+)
+
+// Snapshot is one full checkpoint of the service state: everything a
+// restarted process needs to answer queries exactly as before, up to and
+// including WAL sequence number Seq.
+type Snapshot struct {
+	// Seq is the last WAL sequence number the snapshot covers; records
+	// with larger numbers must be replayed on top.
+	Seq uint64
+
+	External *rdf.Graph
+	Local    *rdf.Graph
+	// Ontology is the class hierarchy serialized back to triples
+	// (ontology.Ontology.ToGraph / FromGraph round-trips it).
+	Ontology *rdf.Graph
+	// Links is the accumulated training set in exact order — order and
+	// duplicates are preserved so relearning reproduces the model
+	// byte-for-byte.
+	Links []LinkRef
+	Meta  Meta
+
+	// LearnExternal/LearnLocal/LearnLinks preserve the exact state the
+	// persisted model was learned from, where it differs from the
+	// checkpoint state: item mutations after the last learn change the
+	// graphs (and removals purge links) without relearning, and recovery
+	// must relearn over the learn-time state to reproduce the live
+	// model. Nil means "same as External/Local/Links".
+	LearnExternal *rdf.Graph
+	LearnLocal    *rdf.Graph
+	LearnLinks    []LinkRef
+}
+
+// Meta is the snapshot's JSON section: model state and the comparator
+// configuration active when the snapshot was taken.
+type Meta struct {
+	// Learned records whether a model existed; recovery relearns from
+	// the learn-time basis (LearnExternal/LearnLocal/LearnLinks —
+	// learning is deterministic), it does not parse RulesText.
+	Learned bool `json:"learned"`
+	// RulesText is the learned rule set in the RuleSet.Write text format,
+	// kept for inspection and for recovery-equivalence checks.
+	RulesText string `json:"rules_text,omitempty"`
+	// Linker echoes the default comparator configuration, when it is
+	// expressible by measure name.
+	Linker *LinkerMeta `json:"linker,omitempty"`
+	// Learner echoes the learner configuration the model was built
+	// with, when it is expressible in wire form (nil when a custom
+	// splitter function is set). Without it a restart with different
+	// defaults would silently relearn a different model.
+	Learner *LearnerMeta `json:"learner,omitempty"`
+}
+
+// LearnerMeta mirrors the service's learner config in wire form.
+type LearnerMeta struct {
+	// SupportThreshold is th; 0 means the paper default.
+	SupportThreshold float64 `json:"support_threshold"`
+	// Properties is the expert property selection (IRIs); empty means
+	// all external data properties.
+	Properties []string `json:"properties,omitempty"`
+}
+
+// LinkerMeta mirrors the service's default linker config in wire form.
+type LinkerMeta struct {
+	Threshold   float64          `json:"threshold"`
+	Workers     int              `json:"workers"`
+	Comparators []ComparatorMeta `json:"comparators"`
+}
+
+// ComparatorMeta is one comparator with its measure referenced by name.
+type ComparatorMeta struct {
+	ExternalProperty string  `json:"external_property"`
+	LocalProperty    string  `json:"local_property"`
+	Measure          string  `json:"measure"`
+	Weight           float64 `json:"weight"`
+}
+
+// encodeLinks serializes the ordered link list.
+func encodeLinks(links []LinkRef) []byte {
+	b := make([]byte, 0, 32*len(links)+8)
+	b = appendUvarint(b, uint64(len(links)))
+	for _, ln := range links {
+		b = appendLinkRef(b, ln)
+	}
+	return b
+}
+
+// decodeLinks parses encodeLinks output.
+func decodeLinks(body []byte) ([]LinkRef, error) {
+	br := &byteReader{b: body}
+	n, err := br.uvarint("link count")
+	if err != nil {
+		return nil, err
+	}
+	links := make([]LinkRef, 0, min(n, 1<<20))
+	for i := uint64(0); i < n; i++ {
+		ln, err := readLinkRef(br)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, ln)
+	}
+	if err := br.done(); err != nil {
+		return nil, err
+	}
+	return links, nil
+}
+
+// snapshotPath names the snapshot file covering seq.
+func snapshotPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%016x.snap", seq))
+}
+
+// writeSnapshotFile writes s atomically: encode to a temp file in the
+// same directory, seal with a trailing CRC over everything before it,
+// fsync, rename into place, fsync the directory. A crash mid-write
+// leaves at most a stray .tmp file that Open ignores.
+func writeSnapshotFile(dir string, s *Snapshot) (path string, size int64, err error) {
+	var buf bytes.Buffer
+	buf.WriteString(snapMagic)
+	var seq [8]byte
+	binary.LittleEndian.PutUint64(seq[:], s.Seq)
+	buf.Write(seq[:])
+
+	writeSection := func(typ byte, body []byte) {
+		var hdr [5]byte
+		hdr[0] = typ
+		binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(body)))
+		buf.Write(hdr[:])
+		buf.Write(body)
+	}
+	encodeGraph := func(g *rdf.Graph) ([]byte, error) {
+		if g == nil {
+			g = rdf.NewGraph()
+		}
+		var gb bytes.Buffer
+		if err := rdf.EncodeSnapshot(&gb, g); err != nil {
+			return nil, err
+		}
+		return gb.Bytes(), nil
+	}
+	for _, sec := range []struct {
+		typ byte
+		g   *rdf.Graph
+	}{{secExternal, s.External}, {secLocal, s.Local}, {secOntology, s.Ontology},
+		{secLearnExternal, s.LearnExternal}, {secLearnLocal, s.LearnLocal}} {
+		if sec.g == nil && (sec.typ == secLearnExternal || sec.typ == secLearnLocal) {
+			continue // learn-time graph identical to the checkpoint graph
+		}
+		body, err := encodeGraph(sec.g)
+		if err != nil {
+			return "", 0, fmt.Errorf("store: encoding snapshot section %d: %w", sec.typ, err)
+		}
+		writeSection(sec.typ, body)
+	}
+	writeSection(secLinks, encodeLinks(s.Links))
+	if s.LearnLinks != nil {
+		writeSection(secLearnLinks, encodeLinks(s.LearnLinks))
+	}
+	meta, err := json.Marshal(s.Meta)
+	if err != nil {
+		return "", 0, fmt.Errorf("store: encoding snapshot meta: %w", err)
+	}
+	writeSection(secMeta, meta)
+
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf.Bytes(), castagnoli))
+	buf.Write(crc[:])
+
+	path = snapshotPath(dir, s.Seq)
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return "", 0, fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return "", 0, fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", 0, fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", 0, fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", 0, fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	syncDir(dir)
+	return path, int64(buf.Len()), nil
+}
+
+// readSnapshotFile loads and validates one snapshot file.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if len(raw) < len(snapMagic)+8+4 {
+		return nil, fmt.Errorf("store: snapshot %s: too short (%d bytes)", path, len(raw))
+	}
+	if string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("store: snapshot %s: bad magic", path)
+	}
+	body, tail := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, fmt.Errorf("store: snapshot %s: crc mismatch (%08x != %08x)", path, got, want)
+	}
+	s := &Snapshot{Seq: binary.LittleEndian.Uint64(body[len(snapMagic) : len(snapMagic)+8])}
+	rest := body[len(snapMagic)+8:]
+	for len(rest) > 0 {
+		if len(rest) < 5 {
+			return nil, fmt.Errorf("store: snapshot %s: truncated section header", path)
+		}
+		typ := rest[0]
+		n := binary.LittleEndian.Uint32(rest[1:5])
+		rest = rest[5:]
+		if uint64(len(rest)) < uint64(n) {
+			return nil, fmt.Errorf("store: snapshot %s: section %d truncated", path, typ)
+		}
+		sec := rest[:n]
+		rest = rest[n:]
+		switch typ {
+		case secExternal, secLocal, secOntology, secLearnExternal, secLearnLocal:
+			g, err := rdf.DecodeSnapshot(bytes.NewReader(sec))
+			if err != nil {
+				return nil, fmt.Errorf("store: snapshot %s: section %d: %w", path, typ, err)
+			}
+			switch typ {
+			case secExternal:
+				s.External = g
+			case secLocal:
+				s.Local = g
+			case secOntology:
+				s.Ontology = g
+			case secLearnExternal:
+				s.LearnExternal = g
+			case secLearnLocal:
+				s.LearnLocal = g
+			}
+		case secLinks:
+			if s.Links, err = decodeLinks(sec); err != nil {
+				return nil, fmt.Errorf("store: snapshot %s: links: %w", path, err)
+			}
+		case secLearnLinks:
+			if s.LearnLinks, err = decodeLinks(sec); err != nil {
+				return nil, fmt.Errorf("store: snapshot %s: learn links: %w", path, err)
+			}
+		case secMeta:
+			if err := json.Unmarshal(sec, &s.Meta); err != nil {
+				return nil, fmt.Errorf("store: snapshot %s: meta: %w", path, err)
+			}
+		default:
+			// Unknown sections are skipped for forward compatibility.
+		}
+	}
+	if s.External == nil || s.Local == nil || s.Ontology == nil {
+		return nil, fmt.Errorf("store: snapshot %s: missing graph section", path)
+	}
+	return s, nil
+}
+
+// syncDir fsyncs a directory so a rename survives power loss. Errors are
+// ignored: not every platform/filesystem supports it, and the rename
+// itself already happened.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

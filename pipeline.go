@@ -111,6 +111,16 @@ func NewPipeline(cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology)
 	if err != nil {
 		return nil, err
 	}
+	return NewPipelineWithModel(m, se, sl, ol), nil
+}
+
+// NewPipelineWithModel builds a pipeline around an already-learned
+// model over the given live graphs. This is how durable recovery keeps
+// model and corpus independent: the model is recomputed from the exact
+// learn-time state a snapshot preserved, while the pipeline serves the
+// (possibly later-mutated) current graphs — matching a live service
+// whose items changed after its last learn.
+func NewPipelineWithModel(m *Model, se, sl *Graph, ol *Ontology) *Pipeline {
 	return &Pipeline{
 		Model:      m,
 		Classifier: NewClassifier(&m.Rules, m.Config.Splitter),
@@ -118,7 +128,7 @@ func NewPipeline(cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology)
 		se:         se,
 		sl:         sl,
 		ol:         ol,
-	}, nil
+	}
 }
 
 // External returns the pipeline's live external graph. Mutate it only
