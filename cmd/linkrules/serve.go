@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,6 +35,12 @@ import (
 // directory with existing state takes precedence over the corpus flags.
 // -fsync picks the WAL durability policy (never, interval, always).
 //
+// Overload protection is configured with -max-inflight (admission cap,
+// excess gets 429), -request-timeout (per-request deadline, 503),
+// -rate/-burst (per-client token buckets) and -api-keys (a file of
+// accepted keys; -strict-auth turns unauthenticated requests into
+// 401s). See the service package's resilience middleware.
+//
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests get
 // a drain deadline and the WAL is flushed and synced before exit.
 func cmdServe(args []string) error {
@@ -46,13 +53,34 @@ func cmdServe(args []string) error {
 	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy: never, interval or always")
 	snapEvery := fs.Int("snapshot-every", 1024, "mutations between automatic snapshots (<0 disables)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrently served requests; excess gets 429 (0: unlimited)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline; 503 when exceeded (0: none)")
+	rate := fs.Float64("rate", 0, "per-client sustained requests/second (0: unlimited)")
+	burst := fs.Int("burst", 0, "per-client burst capacity (0: max(1, round(rate)))")
+	apiKeysFile := fs.String("api-keys", "", "file of accepted API keys, one per line (empty: no authentication)")
+	strictAuth := fs.Bool("strict-auth", false, "reject unauthenticated requests with 401 (requires -api-keys)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 
+	keys, err := loadAPIKeys(*apiKeysFile)
+	if err != nil {
+		return err
+	}
+	if *strictAuth && len(keys) == 0 {
+		return fmt.Errorf("-strict-auth requires -api-keys with at least one key")
+	}
 	opts := service.Options{
 		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
 		DefaultLinker: datalink.DefaultLinkingConfig(),
+		Resilience: service.ResilienceOptions{
+			MaxInFlight:    *maxInflight,
+			RequestTimeout: *reqTimeout,
+			Rate:           *rate,
+			Burst:          *burst,
+			APIKeys:        keys,
+			StrictAuth:     *strictAuth,
+		},
 	}
 
 	var svc *service.Service
@@ -125,7 +153,22 @@ func cmdServe(args []string) error {
 	// The resolved address goes to stdout so scripts (and the CLI smoke
 	// test) can pick up an ephemeral port.
 	fmt.Printf("listening on http://%s\n", ln.Addr())
-	srv := &http.Server{Handler: svc.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	// Server-level timeouts bound slow clients (slowloris reads, stalled
+	// response writes, idle keep-alives) independently of the service's
+	// per-request deadline. WriteTimeout must outlast -request-timeout,
+	// or the connection would be cut before the handler can answer 503 —
+	// and long streaming responses get headroom beyond the deadline too.
+	writeTimeout := 2 * time.Minute
+	if *reqTimeout > 0 && *reqTimeout+30*time.Second > writeTimeout {
+		writeTimeout = *reqTimeout + 30*time.Second
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       1 * time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// Serve until the listener fails or a signal asks for shutdown; then
 	// drain in-flight requests and sync the WAL before exiting.
@@ -152,6 +195,30 @@ func cmdServe(args []string) error {
 		fmt.Fprintln(os.Stderr, "linkrules serve: shut down cleanly")
 		return nil
 	}
+}
+
+// loadAPIKeys reads the -api-keys file: one key per line, blank lines
+// and #-comments skipped. An empty path means no authentication.
+func loadAPIKeys(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading api keys: %w", err)
+	}
+	var keys []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		keys = append(keys, line)
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("api keys file %s holds no keys", path)
+	}
+	return keys, nil
 }
 
 // loadOrGenerateCorpus resolves the corpus the flags describe: read from

@@ -5,7 +5,9 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -148,6 +150,87 @@ func TestCLIServeCrashRecovery(t *testing.T) {
 	status := p2.get(t, "/v1/status")
 	if !strings.Contains(status, `"durability"`) {
 		t.Errorf("status lacks durability stats: %s", status)
+	}
+}
+
+// TestCLIServeOverloadProtection exercises the resilience flags end to
+// end: strict API-key auth (401s), per-client rate limiting (429 +
+// Retry-After once the burst is spent), the unauthenticated liveness
+// probe, and the /v1/status resilience block echoing the limits.
+func TestCLIServeOverloadProtection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	keysFile := filepath.Join(t.TempDir(), "keys")
+	if err := os.WriteFile(keysFile, []byte("# service keys\n\nsecret-key-1\nsecret-key-2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-api-keys", keysFile, "-strict-auth",
+		"-rate", "0.5", "-burst", "2",
+		"-max-inflight", "8", "-request-timeout", "30s",
+	}, corpusArgs...)
+	p := startServe(t, bin, args...)
+
+	keyed := func(key string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, p.base+"/v1/status", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != "" {
+			req.Header.Set("X-API-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, string(b)
+	}
+
+	if resp, body := keyed(""); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated status: %d %s, want 401", resp.StatusCode, body)
+	} else if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("401 is missing the WWW-Authenticate header")
+	}
+	if resp, body := keyed("not-a-key"); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unknown key: %d %s, want 401", resp.StatusCode, body)
+	}
+	// The liveness probe bypasses authentication.
+	if s := p.get(t, "/healthz"); !strings.Contains(s, "true") {
+		t.Errorf("healthz without key: %s", s)
+	}
+
+	resp, body := keyed("secret-key-1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("keyed status: %d %s, want 200", resp.StatusCode, body)
+	}
+	for _, want := range []string{`"max_in_flight":8`, `"strict_auth":true`, `"api_keys":2`, `"request_timeout_ms":30000`, `"burst":2`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("status resilience block lacks %s: %s", want, body)
+		}
+	}
+	// Burst 2 at 0.5/s: the first two requests above the refill rate pass,
+	// the next is shed with a Retry-After hint.
+	if resp, _ := keyed("secret-key-1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("second keyed request: %d, want 200", resp.StatusCode)
+	}
+	resp, body = keyed("secret-key-1")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third keyed request: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 is missing the Retry-After header")
+	}
+	if !strings.Contains(body, "rate_limited") {
+		t.Errorf("429 body lacks the machine-readable reason: %s", body)
+	}
+	// The second key has its own untouched bucket.
+	if resp, _ := keyed("secret-key-2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("other client while first is limited: %d, want 200", resp.StatusCode)
 	}
 }
 

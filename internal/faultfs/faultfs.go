@@ -1,0 +1,301 @@
+// Package faultfs is a deterministic fault-injecting implementation of
+// the store's filesystem seam (store.FS). Every write-side operation the
+// store performs — segment creation, record writes, fsyncs, closes,
+// truncations, renames, removals, directory syncs — passes through one
+// global operation counter, and a plan selects the Nth operation to
+// fail: outright, as a short write, or as ENOSPC.
+//
+// The point is systematic coverage: a sweep test records the operation
+// trace of a fault-free workload run, then re-runs the workload once per
+// operation index (and per failure mode), asserting after each run that
+// recovery preserves every acknowledged record and that unacknowledged
+// records are either absent or were rejected by a fail-stopped store.
+// That turns hand-built torn-tail cases into a proof over every fault
+// point the workload can hit.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+
+	"repro/internal/store"
+)
+
+// ErrInjected is the failure every injected fault returns (wrapped), so
+// tests can tell an injected fault from a real filesystem error.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// Mode selects how the targeted operation fails. Short and NoSpace only
+// change the behavior of Write operations; every other operation kind
+// fails outright regardless of mode.
+type Mode int
+
+const (
+	// Err fails the operation outright without touching the underlying
+	// filesystem.
+	Err Mode = iota
+	// Short writes half the payload through to the underlying file, then
+	// fails — the shape of a torn write at a power cut.
+	Short
+	// NoSpace fails a write with ENOSPC, writing nothing.
+	NoSpace
+)
+
+// String names the mode for test output.
+func (m Mode) String() string {
+	switch m {
+	case Short:
+		return "short"
+	case NoSpace:
+		return "enospc"
+	default:
+		return "err"
+	}
+}
+
+// OpKind classifies one seam operation.
+type OpKind int
+
+// Operation kinds, in no particular order.
+const (
+	OpCreate OpKind = iota
+	OpOpenWrite
+	OpCreateTemp
+	OpWrite
+	OpSync
+	OpClose
+	OpTruncate
+	OpRename
+	OpRemove
+	OpSyncDir
+)
+
+// String names the kind for test output.
+func (k OpKind) String() string {
+	switch k {
+	case OpCreate:
+		return "create"
+	case OpOpenWrite:
+		return "openwrite"
+	case OpCreateTemp:
+		return "createtemp"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpClose:
+		return "close"
+	case OpTruncate:
+		return "truncate"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpSyncDir:
+		return "syncdir"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one recorded seam operation.
+type Op struct {
+	Kind OpKind
+	Path string
+}
+
+// FS wraps an inner store.FS and injects at most one fault, at the
+// operation index armed by FailAt. Safe for concurrent use; the
+// operation counter is global across files, which is what makes a
+// recorded trace replayable.
+type FS struct {
+	inner store.FS
+
+	mu    sync.Mutex
+	n     int // operations seen so far
+	at    int // 1-based index of the operation to fail; 0 = never
+	mode  Mode
+	fired bool
+	trace []Op // nil unless Record was called
+}
+
+// New wraps inner (nil means the real filesystem) with no fault armed.
+func New(inner store.FS) *FS {
+	if inner == nil {
+		inner = store.OSFS()
+	}
+	return &FS{inner: inner}
+}
+
+// FailAt arms the fault: the n-th operation (1-based) fails with the
+// given mode. Zero disarms.
+func (f *FS) FailAt(n int, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.at, f.mode, f.fired = n, mode, false
+}
+
+// Record starts tracing operations (kept until Reset; use on a
+// fault-free run to enumerate a workload's fault points).
+func (f *FS) Record() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.trace = []Op{}
+}
+
+// Trace returns a copy of the recorded operations.
+func (f *FS) Trace() []Op {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Op(nil), f.trace...)
+}
+
+// Ops returns how many operations have passed through so far.
+func (f *FS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// Fired reports whether the armed fault has triggered.
+func (f *FS) Fired() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fired
+}
+
+// step counts one operation and reports whether it must fail, and how.
+func (f *FS) step(kind OpKind, path string) (inject bool, mode Mode) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	if f.trace != nil {
+		f.trace = append(f.trace, Op{Kind: kind, Path: path})
+	}
+	if f.at != 0 && f.n == f.at {
+		f.fired = true
+		return true, f.mode
+	}
+	return false, 0
+}
+
+// injected builds the error for a plainly failed operation.
+func injected(kind OpKind, path string) error {
+	return fmt.Errorf("%w: %s %s", ErrInjected, kind, path)
+}
+
+// Create implements store.FS.
+func (f *FS) Create(path string) (store.File, error) {
+	if inject, _ := f.step(OpCreate, path); inject {
+		return nil, injected(OpCreate, path)
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// OpenWrite implements store.FS.
+func (f *FS) OpenWrite(path string) (store.File, error) {
+	if inject, _ := f.step(OpOpenWrite, path); inject {
+		return nil, injected(OpOpenWrite, path)
+	}
+	file, err := f.inner.OpenWrite(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// CreateTemp implements store.FS.
+func (f *FS) CreateTemp(dir, pattern string) (store.File, error) {
+	if inject, _ := f.step(OpCreateTemp, dir); inject {
+		return nil, injected(OpCreateTemp, dir)
+	}
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{inner: file, fs: f}, nil
+}
+
+// Rename implements store.FS.
+func (f *FS) Rename(oldpath, newpath string) error {
+	if inject, _ := f.step(OpRename, newpath); inject {
+		return injected(OpRename, newpath)
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements store.FS.
+func (f *FS) Remove(path string) error {
+	if inject, _ := f.step(OpRemove, path); inject {
+		return injected(OpRemove, path)
+	}
+	return f.inner.Remove(path)
+}
+
+// SyncDir implements store.FS.
+func (f *FS) SyncDir(dir string) error {
+	if inject, _ := f.step(OpSyncDir, dir); inject {
+		return injected(OpSyncDir, dir)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile routes file operations through the parent's counter.
+type faultFile struct {
+	inner store.File
+	fs    *FS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	inject, mode := f.fs.step(OpWrite, f.inner.Name())
+	if !inject {
+		return f.inner.Write(p)
+	}
+	switch mode {
+	case Short:
+		// Half the payload lands — a torn write. The underlying write
+		// error is still reported, so no caller can mistake it for
+		// success.
+		n, err := f.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, injected(OpWrite, f.inner.Name())
+	case NoSpace:
+		return 0, fmt.Errorf("faultfs: %s %s: %w", OpWrite, f.inner.Name(), syscall.ENOSPC)
+	default:
+		return 0, injected(OpWrite, f.inner.Name())
+	}
+}
+
+func (f *faultFile) Sync() error {
+	if inject, _ := f.fs.step(OpSync, f.inner.Name()); inject {
+		return injected(OpSync, f.inner.Name())
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Close() error {
+	if inject, _ := f.fs.step(OpClose, f.inner.Name()); inject {
+		// The underlying file is still closed — an injected close
+		// failure must not leak the descriptor across a long sweep.
+		_ = f.inner.Close()
+		return injected(OpClose, f.inner.Name())
+	}
+	return f.inner.Close()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if inject, _ := f.fs.step(OpTruncate, f.inner.Name()); inject {
+		return injected(OpTruncate, f.inner.Name())
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }

@@ -1,0 +1,136 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestFailAtCountsAcrossOperations(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.Record()
+	fs.FailAt(3, Err) // Create(1), Write(2), Sync(3) <- fails
+
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync error = %v, want injected", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after fault: %v (one-shot faults must not cascade)", err)
+	}
+	if !fs.Fired() {
+		t.Error("Fired() = false after the fault triggered")
+	}
+	want := []OpKind{OpCreate, OpWrite, OpSync, OpClose}
+	tr := fs.Trace()
+	if len(tr) != len(want) {
+		t.Fatalf("trace length = %d, want %d", len(tr), len(want))
+	}
+	for i, op := range tr {
+		if op.Kind != want[i] {
+			t.Errorf("trace[%d] = %s, want %s", i, op.Kind, want[i])
+		}
+	}
+}
+
+func TestShortWriteLeavesPartialContent(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.FailAt(2, Short)
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error = %v, want injected", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "01234" {
+		t.Fatalf("on-disk content = %q, want the torn half", got)
+	}
+}
+
+func TestNoSpaceWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	fs.FailAt(2, NoSpace)
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("error = %v, want ENOSPC", err)
+	}
+	if n != 0 {
+		t.Fatalf("ENOSPC wrote %d bytes, want 0", n)
+	}
+	f.Close()
+	if got, _ := os.ReadFile(filepath.Join(dir, "a")); len(got) != 0 {
+		t.Fatalf("on-disk content = %q, want empty", got)
+	}
+}
+
+func TestRenameFaultLeavesTargetAbsent(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	src := filepath.Join(dir, "src")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailAt(1, Err)
+	dst := filepath.Join(dir, "dst")
+	if err := fs.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename error = %v, want injected", err)
+	}
+	if _, err := os.Stat(dst); !os.IsNotExist(err) {
+		t.Fatalf("rename target exists after injected failure")
+	}
+	if _, err := os.Stat(src); err != nil {
+		t.Fatalf("rename source gone after injected failure: %v", err)
+	}
+}
+
+func TestDisarmedPassesThrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := New(nil)
+	f, err := fs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Fired() {
+		t.Error("Fired() = true with no fault armed")
+	}
+	if got := fs.Ops(); got != 5 {
+		t.Errorf("Ops() = %d, want 5", got)
+	}
+}

@@ -30,6 +30,15 @@ var ErrCheckpointBusy = errors.New("service: checkpoint already in progress")
 // server-side (503) rather than client errors.
 var errPersist = errors.New("service: persisting mutation")
 
+// errDegraded marks mutations rejected because the store fail-stopped
+// earlier: the service is in degraded read-only mode, still answering
+// queries from the published bundle, and only a restart (which recovers
+// from snapshot + WAL) leaves it. Distinct from errPersist — a degraded
+// rejection is guaranteed to have left no trace in the WAL, while the
+// append failure that *caused* degradation is ambiguous (the record may
+// or may not have reached disk).
+var errDegraded = errors.New("service: store is fail-stopped")
+
 // Seed is the initial corpus for a durable service whose store holds no
 // prior state. Nil graphs start empty; Training is learned at boot and
 // captured by the baseline snapshot.
@@ -190,6 +199,12 @@ type applyResult struct {
 func (s *Service) commit(rec *store.Record) (applyResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.checkDegradedLocked(); err != nil {
+		// The store fail-stopped earlier: reject before touching the WAL
+		// or building any state, so degraded-mode mutations are cheap,
+		// guaranteed-absent failures while reads keep serving.
+		return applyResult{}, err
+	}
 	if s.st != nil {
 		if _, err := s.st.Append(rec); err != nil {
 			return applyResult{}, fmt.Errorf("%w: %v", errPersist, err)
@@ -324,6 +339,11 @@ func (s *Service) Checkpoint() (store.Stats, error) {
 	snap, err := s.checkpointDataLocked()
 	s.mu.Unlock()
 	if err != nil {
+		// Arm the store's failed-checkpoint holdoff on the capture path
+		// too (WriteCheckpoint failures arm it internally), so a forced
+		// checkpoint that dies early backs off exactly like an automatic
+		// one instead of making SnapshotDue retry every record.
+		s.st.Holdoff()
 		s.ckptErr.Store(err.Error())
 		return store.Stats{}, err
 	}
@@ -346,6 +366,9 @@ func (s *Service) maybeCheckpointLocked() {
 	}
 	snap, err := s.checkpointDataLocked()
 	if err != nil {
+		// Same holdoff as the forced path: without it a failing rotation
+		// would be retried on the very next record, over and over.
+		s.st.Holdoff()
 		s.ckptErr.Store(err.Error())
 		s.ckptBusy.Store(false)
 		return

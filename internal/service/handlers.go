@@ -20,13 +20,41 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. Reason, when set, is a
+// stable machine-readable token (see resilience.go) so clients can
+// react to overload, degradation and auth failures without parsing the
+// human-readable message.
 type errorBody struct {
-	Error string `json:"error"`
+	Error  string `json:"error"`
+	Reason string `json:"reason,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrReason writes the error envelope with a machine-readable
+// reason token.
+func writeErrReason(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...), Reason: reason})
+}
+
+// writeCommitErr classifies a failed mutation commit: a store that
+// fail-stopped earlier rejects the mutation up front (degraded
+// read-only mode — restart to recover), a fresh WAL append failure is
+// the moment the store fail-stops. Both are 503s the client must not
+// retry against this process; anything else is the mutation itself
+// failing (learning can) and stays a 400.
+func writeCommitErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errDegraded):
+		writeErrReason(w, http.StatusServiceUnavailable, reasonDegraded,
+			"service is degraded read-only: %v", err)
+	case errors.Is(err, errPersist):
+		writeErrReason(w, http.StatusServiceUnavailable, reasonPersist, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
 }
 
 // decode parses a JSON request body strictly (unknown fields are
@@ -92,6 +120,12 @@ type statusResponse struct {
 	Rules           int             `json:"rules"`
 	Measures        []string        `json:"measures"`
 	Durability      *durabilityJSON `json:"durability,omitempty"`
+	// Degraded reports that the store fail-stopped: reads keep serving
+	// from the published bundle, mutations are rejected with 503 until
+	// the process is restarted and recovers.
+	Degraded       bool            `json:"degraded,omitempty"`
+	DegradedReason string          `json:"degraded_reason,omitempty"`
+	Resilience     *resilienceJSON `json:"resilience,omitempty"`
 }
 
 // durabilityJSON is the status view of the store: WAL and snapshot
@@ -122,7 +156,9 @@ func (s *Service) handleStatus(w http.ResponseWriter, _ *http.Request) {
 			Dir:                 s.st.Dir(),
 			LastCheckpointError: s.lastCheckpointError(),
 		}
+		resp.Degraded, resp.DegradedReason = s.degradedState()
 	}
+	resp.Resilience = s.res.statusJSON()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -177,7 +213,7 @@ func (s *Service) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		Upsert: &store.UpsertOp{Side: sideToStore(side), Items: items},
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeCommitErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, upsertResponse{Upserted: res.upserted, Version: res.version})
@@ -216,7 +252,7 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 		Remove: &store.RemoveOp{Side: sideToStore(side), IDs: req.IDs},
 	})
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeCommitErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, removeResponse{Removed: res.removed, Version: res.version, PurgedLinks: res.purged})
@@ -283,11 +319,7 @@ func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
 		Learn: &store.LearnOp{Replace: req.Replace, Links: refs},
 	})
 	if err != nil {
-		if errors.Is(err, errPersist) {
-			writeErr(w, http.StatusServiceUnavailable, "%v", err)
-			return
-		}
-		writeErr(w, http.StatusBadRequest, "learning: %v", err)
+		writeCommitErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, learnResponse{
@@ -404,7 +436,15 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 	topk, err := qs.view.LinkTopK(r.Context(), items, cfg, req.TopK)
 	if err != nil {
 		switch {
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(err, context.DeadlineExceeded):
+			// The server-imposed request deadline expired mid-scoring:
+			// overload shedding, not a client problem, so tell the client
+			// when to come back.
+			s.res.timeouts.Add(1)
+			retryAfterHeader(w, s.res.opts.RetryAfter)
+			writeErrReason(w, http.StatusServiceUnavailable, reasonTimeout,
+				"scoring exceeded the request deadline: %v", err)
+		case errors.Is(err, context.Canceled):
 			writeErr(w, 499, "request cancelled: %v", err) // 499: client closed request
 		case errors.Is(err, datalink.ErrLinkerConfig):
 			writeErr(w, http.StatusBadRequest, "%v", err)
@@ -434,14 +474,25 @@ type snapshotResponse struct {
 
 // handleAdminSnapshot forces a durability checkpoint: rotate the WAL,
 // snapshot the published state, prune superseded files. 409 when the
-// service is ephemeral or a checkpoint is already running.
+// service is ephemeral or a checkpoint is already running (the latter
+// with a Retry-After hint — the in-flight one will finish), 503 when
+// the store has fail-stopped.
 func (s *Service) handleAdminSnapshot(w http.ResponseWriter, _ *http.Request) {
 	stats, err := s.Checkpoint()
 	switch {
-	case errors.Is(err, ErrNotDurable), errors.Is(err, ErrCheckpointBusy):
+	case errors.Is(err, ErrCheckpointBusy):
+		retryAfterHeader(w, s.res.opts.RetryAfter)
+		writeErrReason(w, http.StatusConflict, reasonBusy, "%v", err)
+		return
+	case errors.Is(err, ErrNotDurable):
 		writeErr(w, http.StatusConflict, "%v", err)
 		return
 	case err != nil:
+		if s.st != nil && s.st.Failed() != nil {
+			writeErrReason(w, http.StatusServiceUnavailable, reasonDegraded,
+				"checkpoint: %v (service is degraded read-only)", err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "checkpoint: %v", err)
 		return
 	}

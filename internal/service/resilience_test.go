@@ -1,0 +1,420 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	datalink "repro"
+	"repro/internal/similarity"
+)
+
+// sendKeyed issues one request through the wrapped handler with an
+// optional API key, returning the recorder.
+func sendKeyed(h http.Handler, method, path, key string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(method, path, nil)
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// reasonOf extracts the machine-readable reason from an error envelope.
+func reasonOf(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("decoding error envelope %q: %v", rec.Body.String(), err)
+	}
+	return body.Reason
+}
+
+func TestAdmissionControlRejectsExcess(t *testing.T) {
+	const cap = 2
+	rz := newResilience(ResilienceOptions{MaxInFlight: cap})
+	entered := make(chan struct{}, cap)
+	release := make(chan struct{})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" { // the probe path bypasses admission
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	var wg sync.WaitGroup
+	codes := make([]int, cap)
+	for i := 0; i < cap; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = sendKeyed(h, "GET", "/v1/status", "").Code
+		}(i)
+	}
+	for i := 0; i < cap; i++ {
+		<-entered // both requests are inside the handler, slots are full
+	}
+	rec := sendKeyed(h, "GET", "/v1/status", "")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("request over capacity: code = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 is missing the Retry-After header")
+	}
+	if got := reasonOf(t, rec); got != reasonOverloaded {
+		t.Errorf("reason = %q, want %q", got, reasonOverloaded)
+	}
+	// The liveness probe must keep answering while the service is full:
+	// an orchestrator has to tell "overloaded" from "dead".
+	if rec := sendKeyed(h, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Errorf("/healthz during saturation: code = %d, want 200", rec.Code)
+	}
+	close(release)
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("admitted request %d: code = %d, want 200", i, c)
+		}
+	}
+	if got := rz.rejectedOverload.Load(); got != 1 {
+		t.Errorf("rejectedOverload = %d, want 1", got)
+	}
+	if got := rz.inFlight.Load(); got != 0 {
+		t.Errorf("inFlight after drain = %d, want 0", got)
+	}
+}
+
+func TestRateLimitPerKey(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rz := newResilience(ResilienceOptions{
+		Rate:    1,
+		Burst:   2,
+		APIKeys: []string{"alice", "bob"},
+		Clock:   func() time.Time { return now },
+	})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	for i := 0; i < 2; i++ {
+		if rec := sendKeyed(h, "GET", "/v1/status", "alice"); rec.Code != http.StatusOK {
+			t.Fatalf("alice request %d within burst: code = %d, want 200", i, rec.Code)
+		}
+	}
+	rec := sendKeyed(h, "GET", "/v1/status", "alice")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("alice over burst: code = %d, want 429", rec.Code)
+	}
+	if got := reasonOf(t, rec); got != reasonRateLimited {
+		t.Errorf("reason = %q, want %q", got, reasonRateLimited)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want %q (1 token at 1/s)", ra, "1")
+	}
+	// Buckets are per key: alice's exhaustion must not throttle bob.
+	if rec := sendKeyed(h, "GET", "/v1/status", "bob"); rec.Code != http.StatusOK {
+		t.Errorf("bob while alice is limited: code = %d, want 200", rec.Code)
+	}
+	// One second later one token has accrued.
+	now = now.Add(time.Second)
+	if rec := sendKeyed(h, "GET", "/v1/status", "alice"); rec.Code != http.StatusOK {
+		t.Errorf("alice after refill: code = %d, want 200", rec.Code)
+	}
+	if got := rz.rejectedRate.Load(); got != 1 {
+		t.Errorf("rejectedRate = %d, want 1", got)
+	}
+}
+
+func TestRateLimitAnonymousSharedBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	rz := newResilience(ResilienceOptions{
+		Rate:  1,
+		Burst: 1,
+		Clock: func() time.Time { return now },
+	})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	// With no keys configured every client is anonymous — a presented
+	// key must NOT mint a fresh bucket, or rate limiting would be
+	// trivially evaded by rotating keys.
+	if rec := sendKeyed(h, "GET", "/v1/status", "minted-1"); rec.Code != http.StatusOK {
+		t.Fatalf("first anonymous request: code = %d, want 200", rec.Code)
+	}
+	if rec := sendKeyed(h, "GET", "/v1/status", "minted-2"); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second anonymous request: code = %d, want 429 (shared bucket)", rec.Code)
+	}
+}
+
+func TestStrictAuth(t *testing.T) {
+	rz := newResilience(ResilienceOptions{APIKeys: []string{"k1"}, StrictAuth: true})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	rec := sendKeyed(h, "GET", "/v1/status", "")
+	if rec.Code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated in strict mode: code = %d, want 401", rec.Code)
+	}
+	if rec.Header().Get("WWW-Authenticate") == "" {
+		t.Error("401 is missing the WWW-Authenticate header")
+	}
+	if got := reasonOf(t, rec); got != reasonUnauthorized {
+		t.Errorf("reason = %q, want %q", got, reasonUnauthorized)
+	}
+	if rec := sendKeyed(h, "GET", "/v1/status", "wrong"); rec.Code != http.StatusUnauthorized {
+		t.Errorf("unknown key: code = %d, want 401", rec.Code)
+	}
+	if rec := sendKeyed(h, "GET", "/v1/status", "k1"); rec.Code != http.StatusOK {
+		t.Errorf("valid X-API-Key: code = %d, want 200", rec.Code)
+	}
+	req := httptest.NewRequest("GET", "/v1/status", nil)
+	req.Header.Set("Authorization", "Bearer k1")
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Errorf("valid bearer token: code = %d, want 200", rr.Code)
+	}
+	if rec := sendKeyed(h, "GET", "/healthz", ""); rec.Code != http.StatusOK {
+		t.Errorf("/healthz without key in strict mode: code = %d, want 200", rec.Code)
+	}
+	if got := rz.rejectedAuth.Load(); got != 2 {
+		t.Errorf("rejectedAuth = %d, want 2", got)
+	}
+}
+
+func TestPanicRecoveryKeepsServing(t *testing.T) {
+	rz := newResilience(ResilienceOptions{})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			panic("handler bug")
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	rec := sendKeyed(h, "GET", "/boom", "")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: code = %d, want 500", rec.Code)
+	}
+	if got := reasonOf(t, rec); got != reasonPanic {
+		t.Errorf("reason = %q, want %q", got, reasonPanic)
+	}
+	// The server must keep serving after a handler panic.
+	if rec := sendKeyed(h, "GET", "/v1/status", ""); rec.Code != http.StatusOK {
+		t.Errorf("request after panic: code = %d, want 200", rec.Code)
+	}
+	if got := rz.panics.Load(); got != 1 {
+		t.Errorf("panics = %d, want 1", got)
+	}
+}
+
+func TestPanicRecoveryPreservesAbortHandler(t *testing.T) {
+	rz := newResilience(ResilienceOptions{})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if p := recover(); p != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want http.ErrAbortHandler to propagate", p)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/v1/status", nil))
+	t.Fatal("ErrAbortHandler was swallowed")
+}
+
+func TestDeadlineAnswersUnwrittenRequests(t *testing.T) {
+	rz := newResilience(ResilienceOptions{RequestTimeout: 20 * time.Millisecond})
+	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A handler that honors the context but forgets to answer.
+		<-r.Context().Done()
+	}))
+	rec := sendKeyed(h, "GET", "/v1/status", "")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("deadline-expired request: code = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 is missing the Retry-After header")
+	}
+	if got := reasonOf(t, rec); got != reasonTimeout {
+		t.Errorf("reason = %q, want %q", got, reasonTimeout)
+	}
+	if got := rz.timeouts.Load(); got != 1 {
+		t.Errorf("timeouts = %d, want 1", got)
+	}
+}
+
+// slowCorpusService builds a learned service whose default comparator
+// sleeps per scored pair, so link requests overlap realistically under
+// concurrent load.
+func slowCorpusService(t *testing.T, delay time.Duration, res ResilienceOptions) *Service {
+	t.Helper()
+	og := datalink.NewGraph()
+	for _, c := range []string{clsRes, clsCap} {
+		og.Add(datalink.T(datalink.NewIRI(c), datalink.RDFType, datalink.NewIRI("http://www.w3.org/2002/07/owl#Class")))
+	}
+	ol, err := datalink.OntologyFromGraph(og)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, sl := datalink.NewGraph(), datalink.NewGraph()
+	var links []datalink.Link
+	for i := 0; i < 8; i++ {
+		ext := datalink.NewIRI(fmt.Sprintf("http://ex.org/e/r%d", i))
+		loc := datalink.NewIRI(fmt.Sprintf("http://ex.org/l/r%d", i))
+		se.Add(datalink.T(ext, datalink.NewIRI(pnProp), datalink.NewLiteral(fmt.Sprintf("RES-%04d-Z", i))))
+		sl.Add(datalink.T(loc, datalink.NewIRI(pnProp), datalink.NewLiteral(fmt.Sprintf("RES-%04d-X", i))))
+		sl.Add(datalink.T(loc, datalink.RDFType, datalink.NewIRI(clsRes)))
+		links = append(links, datalink.Link{External: ext, Local: loc})
+	}
+	slow := similarity.Func{ID: "slow-levenshtein", F: func(a, b string) float64 {
+		time.Sleep(delay)
+		return similarity.Levenshtein{}.Similarity(a, b)
+	}}
+	svc := New(se, sl, ol, Options{
+		Learner: datalink.LearnerConfig{SupportThreshold: 0.01},
+		DefaultLinker: datalink.LinkerConfig{
+			Comparators: []datalink.Comparator{{
+				ExternalProperty: datalink.NewIRI(pnProp),
+				LocalProperty:    datalink.NewIRI(pnProp),
+				Measure:          slow,
+				Weight:           1,
+			}},
+			Threshold: 0.1,
+			Workers:   1,
+		},
+		Resilience: res,
+	})
+	if err := svc.LearnLinks(links); err != nil {
+		t.Fatalf("learning: %v", err)
+	}
+	return svc
+}
+
+// TestSaturationShedsLoad drives the full service handler with more
+// concurrent link queries than the in-flight cap admits: the admitted
+// ones must succeed, the excess must be shed with 429, and the service
+// must drain back to zero in-flight.
+func TestSaturationShedsLoad(t *testing.T) {
+	svc := slowCorpusService(t, 2*time.Millisecond, ResilienceOptions{MaxInFlight: 2})
+	h := svc.Handler()
+	body := `{"items":["http://ex.org/e/r0"],"top_k":1}`
+
+	var saw200, saw429 bool
+	for round := 0; round < 20 && !(saw200 && saw429); round++ {
+		const n = 16
+		codes := make([]int, n)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				req := httptest.NewRequest("POST", "/v1/link", strings.NewReader(body))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				codes[i] = rec.Code
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+		for i, c := range codes {
+			switch c {
+			case http.StatusOK:
+				saw200 = true
+			case http.StatusTooManyRequests:
+				saw429 = true
+			default:
+				t.Fatalf("request %d: code = %d, want 200 or 429", i, c)
+			}
+		}
+	}
+	if !saw200 || !saw429 {
+		t.Fatalf("saturation never produced both outcomes: 200=%v 429=%v", saw200, saw429)
+	}
+	var status statusResponse
+	if rec := call(t, h, "GET", "/v1/status", nil, &status); rec.Code != http.StatusOK {
+		t.Fatalf("status after saturation: %d %s", rec.Code, rec.Body)
+	}
+	if status.Resilience == nil {
+		t.Fatal("status has no resilience block")
+	}
+	if status.Resilience.RejectedOverload == 0 {
+		t.Error("status reports zero overload rejections after saturation")
+	}
+	// The status request itself holds one slot while it reports.
+	if status.Resilience.InFlight != 1 {
+		t.Errorf("in_flight after drain = %d, want 1 (the status request)", status.Resilience.InFlight)
+	}
+	if status.Resilience.MaxInFlight != 2 {
+		t.Errorf("max_in_flight = %d, want 2", status.Resilience.MaxInFlight)
+	}
+}
+
+func TestStatusReportsResilienceConfig(t *testing.T) {
+	svc := corpusServiceWith(t, ResilienceOptions{
+		MaxInFlight:    7,
+		RequestTimeout: 1500 * time.Millisecond,
+		Rate:           2.5,
+		Burst:          9,
+		APIKeys:        []string{"k1", "k2"},
+	})
+	var status statusResponse
+	if rec := call(t, svc.Handler(), "GET", "/v1/status", nil, &status); rec.Code != http.StatusOK {
+		t.Fatalf("status: %d %s", rec.Code, rec.Body)
+	}
+	r := status.Resilience
+	if r == nil {
+		t.Fatal("status has no resilience block")
+	}
+	if r.MaxInFlight != 7 || r.RequestTimeoutMS != 1500 || r.Rate != 2.5 || r.Burst != 9 || r.APIKeys != 2 {
+		t.Errorf("resilience status = %+v, want the configured limits echoed", r)
+	}
+}
+
+// corpusServiceWith is corpusService with resilience options applied.
+func corpusServiceWith(t *testing.T, res ResilienceOptions) *Service {
+	t.Helper()
+	s := corpusService(t)
+	s.opts.Resilience = res
+	s.res = newResilience(res)
+	return s
+}
+
+// BenchmarkResilienceHotPath measures the per-request overhead of the
+// admission and rate-limit checks on the admitted path — the cost every
+// successful request pays. It must stay well under a microsecond.
+func BenchmarkResilienceHotPath(b *testing.B) {
+	rz := newResilience(ResilienceOptions{
+		MaxInFlight: 64,
+		Rate:        1e9, // never empties at benchmark speed
+		Burst:       1 << 20,
+		APIKeys:     []string{"bench-key"},
+	})
+	req := httptest.NewRequest("POST", "/v1/link", nil)
+	req.Header.Set("X-API-Key", "bench-key")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key, ok := rz.client(req)
+		if !ok {
+			b.Fatal("auth rejected")
+		}
+		if ok, _ := rz.allow(key); !ok {
+			b.Fatal("rate limited")
+		}
+		if !rz.acquire() {
+			b.Fatal("admission rejected")
+		}
+		rz.release()
+	}
+}

@@ -76,6 +76,10 @@ type Options struct {
 	DefaultLinker datalink.LinkerConfig
 	// MaxBodyBytes caps request bodies; 0 means 8 MiB.
 	MaxBodyBytes int64
+	// Resilience configures the overload-protection middleware (panic
+	// recovery, admission control, rate limiting, request deadlines); the
+	// zero value applies no limits. See resilience.go.
+	Resilience ResilienceOptions
 }
 
 // Service is the shared state behind the HTTP API. Mutations (items,
@@ -116,6 +120,10 @@ type Service struct {
 	// under mu by Close before it waits on ckptWG, so the wait cannot
 	// race a concurrent Add).
 	closing bool
+
+	// res is the overload-protection middleware state (see
+	// resilience.go); always non-nil.
+	res *resilience
 }
 
 // queryState is one published point-in-time view: frozen copy-on-write
@@ -146,6 +154,7 @@ func New(se, sl *datalink.Graph, ol *datalink.Ontology, opts Options) *Service {
 		opts.MaxBodyBytes = 8 << 20
 	}
 	s := &Service{opts: opts, se: se, sl: sl, ol: ol}
+	s.res = newResilience(opts.Resilience)
 	s.publishLocked()
 	return s
 }
@@ -281,7 +290,9 @@ func (s *Service) replaceItemLocked(side datalink.Side, item datalink.Term, prop
 	}
 }
 
-// Handler returns the service's HTTP API.
+// Handler returns the service's HTTP API, wrapped in the
+// overload-protection middleware (panic recovery, authentication, rate
+// limiting, admission control, per-request deadlines — resilience.go).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -292,5 +303,5 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/rules", s.handleRules)
 	mux.HandleFunc("POST /v1/link", s.handleLink)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
-	return mux
+	return s.res.wrap(mux)
 }

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// File is the write-side file handle the WAL and snapshot writers go
+// through. It is the seam fault-injection tests use to prove that every
+// disk failure either recovers cleanly or fail-stops before a write is
+// acknowledged (see internal/faultfs).
+type File interface {
+	io.Writer
+	// Sync fsyncs the file.
+	Sync() error
+	// Close closes the file (without an implicit sync).
+	Close() error
+	// Truncate cuts the file to size bytes.
+	Truncate(size int64) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem interface behind every write the store performs.
+// The read/replay side intentionally stays on the real filesystem:
+// recovery always runs against whatever actually landed on disk, which
+// is exactly what fault injection wants to exercise. The zero
+// configuration (Options.FS == nil) uses OSFS.
+type FS interface {
+	// Create creates path exclusively (O_CREATE|O_EXCL) for writing. A
+	// pre-existing file is an error.
+	Create(path string) (File, error)
+	// OpenWrite opens an existing file write-only (used to truncate a
+	// tolerated torn WAL tail).
+	OpenWrite(path string) (File, error)
+	// CreateTemp creates a new temporary file in dir (os.CreateTemp
+	// naming semantics).
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// SyncDir fsyncs a directory so entry creation and renames survive
+	// power loss. Implementations may ignore unsupported filesystems.
+	SyncDir(dir string) error
+}
+
+// OSFS returns the real-filesystem implementation of FS.
+func OSFS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+}
+
+func (osFS) OpenWrite(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY, 0)
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

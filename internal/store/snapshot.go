@@ -140,8 +140,9 @@ func snapshotPath(dir string, seq uint64) string {
 // writeSnapshotFile writes s atomically: encode to a temp file in the
 // same directory, seal with a trailing CRC over everything before it,
 // fsync, rename into place, fsync the directory. A crash mid-write
-// leaves at most a stray .tmp file that Open ignores.
-func writeSnapshotFile(dir string, s *Snapshot) (path string, size int64, err error) {
+// leaves at most a stray .tmp file that Open ignores, and a failure at
+// any step before the rename never publishes a partial snapshot.
+func writeSnapshotFile(fs FS, dir string, s *Snapshot) (path string, size int64, err error) {
 	var buf bytes.Buffer
 	buf.WriteString(snapMagic)
 	var seq [8]byte
@@ -194,11 +195,11 @@ func writeSnapshotFile(dir string, s *Snapshot) (path string, size int64, err er
 	buf.Write(crc[:])
 
 	path = snapshotPath(dir, s.Seq)
-	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	tmp, err := fs.CreateTemp(dir, "snap-*.tmp")
 	if err != nil {
 		return "", 0, fmt.Errorf("store: creating snapshot temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer fs.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
 		tmp.Close()
 		return "", 0, fmt.Errorf("store: writing snapshot: %w", err)
@@ -210,10 +211,10 @@ func writeSnapshotFile(dir string, s *Snapshot) (path string, size int64, err er
 	if err := tmp.Close(); err != nil {
 		return "", 0, fmt.Errorf("store: closing snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fs.Rename(tmp.Name(), path); err != nil {
 		return "", 0, fmt.Errorf("store: publishing snapshot: %w", err)
 	}
-	syncDir(dir)
+	_ = fs.SyncDir(dir)
 	return path, int64(buf.Len()), nil
 }
 
@@ -285,14 +286,4 @@ func readSnapshotFile(path string) (*Snapshot, error) {
 		return nil, fmt.Errorf("store: snapshot %s: missing graph section", path)
 	}
 	return s, nil
-}
-
-// syncDir fsyncs a directory so a rename survives power loss. Errors are
-// ignored: not every platform/filesystem supports it, and the rename
-// itself already happened.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
-	}
 }

@@ -67,11 +67,18 @@ type Options struct {
 	SnapshotEvery int
 	// KeepSnapshots is how many snapshot files to retain; 0 means 2.
 	KeepSnapshots int
+	// FS is the filesystem behind every write the store performs; nil
+	// means the real one (OSFS). Fault-injection tests substitute
+	// internal/faultfs here.
+	FS FS
 }
 
 func (o Options) withDefaults() Options {
 	if o.FsyncInterval <= 0 {
 		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = OSFS()
 	}
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 1024
@@ -98,6 +105,7 @@ type segment struct {
 type Store struct {
 	dir  string
 	opts Options
+	fs   FS
 
 	mu          sync.Mutex
 	wal         *walWriter
@@ -226,6 +234,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	st := &Store{
 		dir:       dir,
 		opts:      opts,
+		fs:        opts.FS,
 		seq:       lastSeq,
 		snapSeq:   snapSeq,
 		snapTime:  snapTime,
@@ -238,7 +247,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	// torn tail) are deleted here so the fresh segment's name is free.
 	for i, sg := range segs {
 		if segRecords[i] == 0 {
-			_ = os.Remove(sg.path)
+			_ = opts.FS.Remove(sg.path)
 			continue
 		}
 		if i == len(segs)-1 && tornGood >= 0 {
@@ -246,7 +255,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 			// process may die again before its post-recovery checkpoint
 			// prunes the segment, and the next Open would then find the
 			// garbage in the *middle* of the log and refuse to start.
-			if err := truncateWALSegment(sg.path, tornGood); err != nil {
+			if err := truncateWALSegment(opts.FS, sg.path, tornGood); err != nil {
 				return nil, nil, err
 			}
 			sg.bytes = tornGood
@@ -258,7 +267,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		st.retained = append(st.retained, segment{path: sg.path, start: sg.start, end: end, bytes: sg.bytes})
 	}
 	st.walStart = lastSeq + 1
-	w, err := createWALSegment(filepath.Join(dir, walName(st.walStart)))
+	w, err := createWALSegment(opts.FS, filepath.Join(dir, walName(st.walStart)))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -266,7 +275,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	// Drop stray temp files from interrupted snapshot writes.
 	if tmp, err := filepath.Glob(filepath.Join(dir, "snap-*.tmp")); err == nil {
 		for _, p := range tmp {
-			_ = os.Remove(p)
+			_ = opts.FS.Remove(p)
 		}
 	}
 	if opts.Fsync == FsyncInterval {
@@ -410,11 +419,16 @@ func (s *Store) Rotate() (uint64, error) {
 	}
 	old := s.wal
 	if err := old.close(); err != nil {
+		// close() syncs first, so a failure here is an ambiguous sync:
+		// acknowledged records in this segment may not be durable under
+		// the configured policy, and the file is closed either way.
+		// Fail-stop rather than let the next Append discover it.
+		s.failed = err
 		return 0, err
 	}
 	s.retained = append(s.retained, segment{path: old.path, start: s.walStart, end: boundary, bytes: old.bytes})
 	s.walStart = s.seq + 1
-	w, err := createWALSegment(filepath.Join(s.dir, walName(s.walStart)))
+	w, err := createWALSegment(s.fs, filepath.Join(s.dir, walName(s.walStart)))
 	if err != nil {
 		// The old segment is already closed; without a fresh one there is
 		// nowhere to append. Fail-stop like a write failure, instead of
@@ -434,7 +448,7 @@ func (s *Store) Rotate() (uint64, error) {
 // the bookkeeping at the end takes it. Callers obtain snap.Seq from
 // Rotate and capture the state while still holding their writer lock.
 func (s *Store) WriteCheckpoint(snap *Snapshot) error {
-	if _, _, err := writeSnapshotFile(s.dir, snap); err != nil {
+	if _, _, err := writeSnapshotFile(s.fs, s.dir, snap); err != nil {
 		s.mu.Lock()
 		if snap.Seq > s.snapHoldoff {
 			s.snapHoldoff = snap.Seq
@@ -447,6 +461,7 @@ func (s *Store) WriteCheckpoint(snap *Snapshot) error {
 	if snap.Seq > s.snapSeq {
 		s.snapSeq = snap.Seq
 		s.snapTime = time.Now()
+		s.snapHoldoff = 0 // a successful checkpoint ends any holdoff
 	}
 	s.snapCount++
 	s.checkpoints++
@@ -460,7 +475,7 @@ func (s *Store) pruneLocked() {
 	kept := s.retained[:0]
 	for _, sg := range s.retained {
 		if sg.end <= s.snapSeq {
-			_ = os.Remove(sg.path)
+			_ = s.fs.Remove(sg.path)
 			continue
 		}
 		kept = append(kept, sg)
@@ -473,7 +488,7 @@ func (s *Store) pruneLocked() {
 	}
 	s.snapCount = len(snaps)
 	for len(snaps) > s.opts.KeepSnapshots {
-		_ = os.Remove(snaps[0].path)
+		_ = s.fs.Remove(snaps[0].path)
 		snaps = snaps[1:]
 		s.snapCount--
 	}
@@ -523,6 +538,30 @@ func (s *Store) Stats() Stats {
 
 // Dir returns the durability directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Failed returns the sticky WAL failure that fail-stopped the store, or
+// nil while it is healthy. A failed store rejects every further Append
+// and Rotate until a restart recovers whatever actually landed on disk;
+// the service layer surfaces this as degraded read-only mode.
+func (s *Store) Failed() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failed
+}
+
+// Holdoff arms the failed-checkpoint holdoff at the current sequence:
+// SnapshotDue stays false until SnapshotEvery more records accumulate.
+// WriteCheckpoint arms it itself when the snapshot write fails; the
+// service calls this for checkpoint attempts that die earlier (rotation
+// or state capture), so forced and automatic checkpoints back off
+// identically instead of retrying a full snapshot encode per mutation.
+func (s *Store) Holdoff() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seq > s.snapHoldoff {
+		s.snapHoldoff = s.seq
+	}
+}
 
 // Sync flushes and fsyncs the current WAL segment. Like Append, a sync
 // failure is ambiguous and poisons the store.

@@ -561,7 +561,7 @@ func TestSnapshotFileRejectsCorruption(t *testing.T) {
 			{ExternalKind: 1, External: "http://ex.org/e2", LocalKind: 1, Local: "http://ex.org/l2"},
 		},
 	}
-	path, _, err := writeSnapshotFile(dir, snap)
+	path, _, err := writeSnapshotFile(OSFS(), dir, snap)
 	if err != nil {
 		t.Fatal(err)
 	}

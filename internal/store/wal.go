@@ -27,7 +27,7 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // buffered; flush pushes them to the OS, sync additionally fsyncs.
 // Not safe for concurrent use — the Store serializes access.
 type walWriter struct {
-	f       *os.File
+	f       File
 	bw      *bufio.Writer
 	path    string
 	bytes   int64 // bytes written including header
@@ -37,8 +37,8 @@ type walWriter struct {
 // createWALSegment creates path exclusively and writes the header. A
 // pre-existing file is an error: segment names embed the start sequence,
 // so a collision means the store directory is corrupt or shared.
-func createWALSegment(path string) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+func createWALSegment(fs FS, path string) (*walWriter, error) {
+	f, err := fs.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: creating wal segment: %w", err)
 	}
@@ -54,7 +54,7 @@ func createWALSegment(path string) (*walWriter, error) {
 		f.Close()
 		return nil, err
 	}
-	syncDir(filepath.Dir(path))
+	_ = fs.SyncDir(filepath.Dir(path))
 	w.bytes = int64(len(walMagic))
 	return w, nil
 }
@@ -160,8 +160,8 @@ func replayWALSegment(path string, fn func(rec *Record) error) (clean bool, good
 // last intact frame boundary, so a later Open that still sees this file
 // (the process died again before a checkpoint pruned it) replays it as
 // a clean mid-log segment instead of refusing to start.
-func truncateWALSegment(path string, size int64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+func truncateWALSegment(fs FS, path string, size int64) error {
+	f, err := fs.OpenWrite(path)
 	if err != nil {
 		return fmt.Errorf("store: truncating torn wal tail: %w", err)
 	}
