@@ -1,0 +1,420 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	datalink "repro"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// cmdBench runs the benchmark corpus end-to-end through the real
+// service stack — durable store, resilience middleware, HTTP handlers,
+// learner, link engine — and writes a machine-readable report with a
+// stable schema ("linkrules-bench/1"). Committing one report per PR
+// gives the repo a perf trajectory that regressions show up in:
+//
+//	upsert  corpus ingest through POST /v1/items/upsert (items/s)
+//	learn   POST /v1/learn over the training links (wall seconds)
+//	link    repeated POST /v1/link queries (p50/p99 latency, qps)
+//	wal     append count/bytes/rate observed by the store instruments
+//
+// The store lives in a throwaway directory; -fsync picks the WAL
+// policy the mutation phases pay for. -smoke shrinks the corpus and
+// iteration counts so CI can run the whole thing in seconds.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	cf := addCorpusFlags(fs)
+	out := fs.String("out", "BENCH_7.json", "report file (- writes to stdout)")
+	smoke := fs.Bool("smoke", false, "tiny corpus and few iterations, for CI smoke runs")
+	queries := fs.Int("queries", 200, "timed link queries")
+	batch := fs.Int("batch", 64, "items per upsert request")
+	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy paid by the mutation phases: never, interval or always")
+	topK := fs.Int("top", 3, "matches requested per item in link queries")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *smoke {
+		if cf.scale == "paper" {
+			cf.scale = "small"
+		}
+		if cf.links == 0 {
+			cf.links = 150
+		}
+		if cf.catalog == 0 {
+			cf.catalog = 500
+		}
+		if *queries == 200 {
+			*queries = 30
+		}
+	}
+	mode, err := store.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	if *batch < 1 || *queries < 1 {
+		return fmt.Errorf("-batch and -queries must be positive")
+	}
+
+	cfg, err := cf.config()
+	if err != nil {
+		return err
+	}
+	ds, err := datalink.GenerateCorpus(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: %s corpus, seed %d (SE %d, SL %d triples, |TS| %d)\n",
+		cf.scale, cf.seed, ds.External.Len(), ds.Local.Len(), ds.Training.Len())
+
+	dir, err := os.MkdirTemp("", "linkrules-bench-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reg := obs.NewRegistry()
+	sm := store.NewMetrics(reg)
+	st, rec, err := store.Open(dir, store.Options{
+		Fsync:         mode,
+		SnapshotEvery: -1, // no auto-checkpoints: the WAL numbers stay pure append cost
+		Metrics:       sm,
+	})
+	if err != nil {
+		return err
+	}
+	// The external side starts empty: the upsert phase ingests the whole
+	// external corpus through the HTTP handler, exactly like a client.
+	seed := &service.Seed{External: datalink.NewGraph(), Local: ds.Local, Ontology: ds.Ontology}
+	opts := service.Options{
+		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
+		DefaultLinker: datalink.DefaultLinkingConfig(),
+		Metrics:       reg,
+	}
+	svc, err := service.Restore(st, rec, seed, opts)
+	if err != nil {
+		st.Close()
+		return err
+	}
+	defer svc.Close()
+	h := svc.Handler()
+
+	rep := benchReport{
+		Schema:    "linkrules-bench/1",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Smoke:     *smoke,
+		Corpus: benchCorpus{
+			Scale:           cf.scale,
+			Seed:            cf.seed,
+			TrainingLinks:   ds.Training.Len(),
+			ExternalItems:   len(ds.External.AllSubjects()),
+			ExternalTriples: ds.External.Len(),
+			LocalTriples:    ds.Local.Len(),
+		},
+	}
+
+	// Phase 1: upsert throughput.
+	specs := externalItemSpecs(ds.External)
+	mutStart := time.Now()
+	t0 := time.Now()
+	batches := 0
+	for i := 0; i < len(specs); i += *batch {
+		end := min(i+*batch, len(specs))
+		body, err := json.Marshal(map[string]any{"side": "external", "items": specs[i:end]})
+		if err != nil {
+			return err
+		}
+		if _, err := call(h, "POST", "/v1/items/upsert", body); err != nil {
+			return fmt.Errorf("upsert batch %d: %w", batches, err)
+		}
+		batches++
+	}
+	upsertSec := time.Since(t0).Seconds()
+	rep.Upsert = benchUpsert{
+		Items:       len(specs),
+		Batches:     batches,
+		BatchSize:   *batch,
+		Seconds:     upsertSec,
+		ItemsPerSec: rate(float64(len(specs)), upsertSec),
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: upsert %d items in %d batches: %.3fs (%.0f items/s)\n",
+		len(specs), batches, upsertSec, rep.Upsert.ItemsPerSec)
+
+	// Phase 2: learn time.
+	links := make([]map[string]string, 0, ds.Training.Len())
+	for _, l := range ds.Training.Links {
+		links = append(links, map[string]string{"external": l.External.Value, "local": l.Local.Value})
+	}
+	body, err := json.Marshal(map[string]any{"links": links})
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	learnResp, err := call(h, "POST", "/v1/learn", body)
+	if err != nil {
+		return fmt.Errorf("learn: %w", err)
+	}
+	learnSec := time.Since(t0).Seconds()
+	mutSec := time.Since(mutStart).Seconds()
+	var learned struct {
+		Rules int `json:"rules"`
+	}
+	if err := json.Unmarshal(learnResp, &learned); err != nil {
+		return fmt.Errorf("learn response: %w", err)
+	}
+	rep.Learn = benchLearn{Links: len(links), Rules: learned.Rules, Seconds: learnSec}
+	fmt.Fprintf(os.Stderr, "linkrules bench: learn %d links -> %d rules: %.3fs\n",
+		len(links), learned.Rules, learnSec)
+
+	// Phase 3: link query latency. Each query asks for a deterministic
+	// slice of external items so runs are comparable across machines.
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.ID
+	}
+	perQuery := min(16, len(ids))
+	linkBodies := make([][]byte, *queries)
+	for q := range linkBodies {
+		items := make([]string, perQuery)
+		for j := range items {
+			items[j] = ids[(q*31+j*7)%len(ids)]
+		}
+		if linkBodies[q], err = json.Marshal(map[string]any{"items": items, "top_k": *topK}); err != nil {
+			return err
+		}
+	}
+	for w := 0; w < min(3, *queries); w++ { // warm the engine caches
+		if _, err := call(h, "POST", "/v1/link", linkBodies[w]); err != nil {
+			return fmt.Errorf("link warmup: %w", err)
+		}
+	}
+	durs := make([]float64, *queries)
+	t0 = time.Now()
+	for q := range durs {
+		q0 := time.Now()
+		if _, err := call(h, "POST", "/v1/link", linkBodies[q]); err != nil {
+			return fmt.Errorf("link query %d: %w", q, err)
+		}
+		durs[q] = time.Since(q0).Seconds() * 1e3
+	}
+	linkSec := time.Since(t0).Seconds()
+	sort.Float64s(durs)
+	rep.Link = benchLink{
+		Queries:       *queries,
+		ItemsPerQuery: perQuery,
+		TopK:          *topK,
+		P50Ms:         percentile(durs, 50),
+		P99Ms:         percentile(durs, 99),
+		MeanMs:        mean(durs),
+		QPS:           rate(float64(*queries), linkSec),
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: %d link queries x %d items: p50 %.2fms p99 %.2fms (%.1f qps)\n",
+		*queries, perQuery, rep.Link.P50Ms, rep.Link.P99Ms, rep.Link.QPS)
+
+	// Phase 4: WAL append rate over the mutation phases, read from the
+	// same instruments /metrics exports.
+	rep.WAL = benchWAL{
+		Fsync:         mode.String(),
+		Appends:       sm.AppendsTotal.Value(),
+		Bytes:         sm.AppendBytesTotal.Value(),
+		Seconds:       mutSec,
+		AppendsPerSec: rate(float64(sm.AppendsTotal.Value()), mutSec),
+		MBPerSec:      rate(float64(sm.AppendBytesTotal.Value())/(1<<20), mutSec),
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: wal %d appends, %d bytes (fsync %s): %.0f appends/s\n",
+		rep.WAL.Appends, rep.WAL.Bytes, rep.WAL.Fsync, rep.WAL.AppendsPerSec)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: wrote %s\n", *out)
+	return nil
+}
+
+// benchReport is the stable machine-readable schema. Only add fields;
+// never rename or repurpose existing ones — downstream trajectory
+// tooling compares reports across commits by key.
+type benchReport struct {
+	Schema    string      `json:"schema"`
+	Timestamp string      `json:"timestamp"`
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	CPUs      int         `json:"cpus"`
+	Smoke     bool        `json:"smoke"`
+	Corpus    benchCorpus `json:"corpus"`
+	Upsert    benchUpsert `json:"upsert"`
+	Learn     benchLearn  `json:"learn"`
+	Link      benchLink   `json:"link"`
+	WAL       benchWAL    `json:"wal"`
+}
+
+type benchCorpus struct {
+	Scale           string `json:"scale"`
+	Seed            int64  `json:"seed"`
+	TrainingLinks   int    `json:"training_links"`
+	ExternalItems   int    `json:"external_items"`
+	ExternalTriples int    `json:"external_triples"`
+	LocalTriples    int    `json:"local_triples"`
+}
+
+type benchUpsert struct {
+	Items       int     `json:"items"`
+	Batches     int     `json:"batches"`
+	BatchSize   int     `json:"batch_size"`
+	Seconds     float64 `json:"seconds"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+type benchLearn struct {
+	Links   int     `json:"links"`
+	Rules   int     `json:"rules"`
+	Seconds float64 `json:"seconds"`
+}
+
+type benchLink struct {
+	Queries       int     `json:"queries"`
+	ItemsPerQuery int     `json:"items_per_query"`
+	TopK          int     `json:"top_k"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	QPS           float64 `json:"qps"`
+}
+
+type benchWAL struct {
+	Fsync         string  `json:"fsync"`
+	Appends       uint64  `json:"appends"`
+	Bytes         uint64  `json:"bytes"`
+	Seconds       float64 `json:"seconds"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+// benchItem mirrors the upsert wire format.
+type benchItem struct {
+	ID         string              `json:"id"`
+	Properties map[string][]string `json:"properties"`
+}
+
+// externalItemSpecs converts the generated external graph into upsert
+// payloads: one spec per subject carrying its literal properties,
+// sorted so the ingest order is deterministic.
+func externalItemSpecs(g *datalink.Graph) []benchItem {
+	subjects := g.AllSubjects()
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i].Compare(subjects[j]) < 0 })
+	specs := make([]benchItem, 0, len(subjects))
+	for _, s := range subjects {
+		props := map[string][]string{}
+		for _, tr := range g.Find(s, datalink.Term{}, datalink.Term{}) {
+			if tr.O.IsLiteral() {
+				props[tr.P.Value] = append(props[tr.P.Value], tr.O.Value)
+			}
+		}
+		if len(props) == 0 {
+			continue
+		}
+		specs = append(specs, benchItem{ID: s.Value, Properties: props})
+	}
+	return specs
+}
+
+// call drives one request through the in-process handler and returns
+// the response body, failing on any non-200 status.
+func call(h http.Handler, method, path string, body []byte) ([]byte, error) {
+	req, err := http.NewRequest(method, "http://bench.invalid"+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	rw := &benchRecorder{}
+	h.ServeHTTP(rw, req)
+	if rw.code != http.StatusOK {
+		return nil, fmt.Errorf("%s %s: %d %s", method, path, rw.code, strings.TrimSpace(rw.body.String()))
+	}
+	return rw.body.Bytes(), nil
+}
+
+// benchRecorder is a minimal in-memory http.ResponseWriter; the bench
+// intentionally skips the network stack so latencies are handler-only.
+type benchRecorder struct {
+	code int
+	hdr  http.Header
+	body bytes.Buffer
+}
+
+func (r *benchRecorder) Header() http.Header {
+	if r.hdr == nil {
+		r.hdr = http.Header{}
+	}
+	return r.hdr
+}
+
+func (r *benchRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+}
+
+func (r *benchRecorder) Write(p []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.body.Write(p)
+}
+
+// percentile returns the p-th percentile of sorted samples using
+// nearest-rank.
+func percentile(sorted []float64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return sorted[idx]
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// rate divides guarding against a zero interval.
+func rate(n, sec float64) float64 {
+	if sec <= 0 {
+		return 0
+	}
+	return n / sec
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIBenchSmoke runs the bench subcommand in smoke mode and checks
+// the report: schema tag, every phase populated, and sane values. This
+// is the same invocation CI uses, so a broken bench fails here first.
+func TestCLIBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	stderr := run(t, bin, "bench", "-smoke", "-out", out)
+	for _, want := range []string{"upsert", "learn", "link queries", "wal"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("bench progress output lacks %q:\n%s", want, stderr)
+		}
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench wrote no report: %v", err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Schema != "linkrules-bench/1" {
+		t.Errorf("schema = %q, want linkrules-bench/1", rep.Schema)
+	}
+	if !rep.Smoke {
+		t.Error("report does not record smoke mode")
+	}
+	if rep.Timestamp == "" || rep.GoVersion == "" || rep.CPUs < 1 {
+		t.Errorf("environment block incomplete: %+v", rep)
+	}
+	if rep.Upsert.Items == 0 || rep.Upsert.ItemsPerSec <= 0 {
+		t.Errorf("upsert phase empty: %+v", rep.Upsert)
+	}
+	if rep.Learn.Rules == 0 || rep.Learn.Seconds <= 0 {
+		t.Errorf("learn phase empty: %+v", rep.Learn)
+	}
+	if rep.Link.Queries == 0 || rep.Link.P50Ms <= 0 || rep.Link.P99Ms < rep.Link.P50Ms {
+		t.Errorf("link phase implausible: %+v", rep.Link)
+	}
+	if rep.WAL.Appends == 0 || rep.WAL.Bytes == 0 {
+		t.Errorf("wal phase empty: %+v", rep.WAL)
+	}
+	// The report must marshal back to the same schema keys — a field
+	// rename would silently break the cross-commit trajectory.
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "timestamp", "go_version", "goos", "goarch", "cpus", "smoke", "corpus", "upsert", "learn", "link", "wal"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report lacks top-level key %q", key)
+		}
+	}
+}

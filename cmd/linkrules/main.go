@@ -23,6 +23,7 @@
 //	learn       learn rules from corpus files and save them
 //	classify    classify external items with saved rules
 //	serve       run the live linking service (HTTP/JSON)
+//	bench       run the service benchmark, emit a JSON report
 //	all         run every experiment in sequence
 package main
 
@@ -83,6 +84,8 @@ func main() {
 		err = cmdExport(args)
 	case "serve":
 		err = cmdServe(args)
+	case "bench":
+		err = cmdBench(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -132,6 +135,11 @@ service:
                           crash recovery (-fsync never|interval|always,
                           -snapshot-every N); an existing store's state
                           wins over the corpus flags
+
+  bench -out FILE         run the benchmark corpus end-to-end through the
+                          service stack (upsert throughput, learn time,
+                          link p50/p99, WAL append rate) and emit a
+                          machine-readable JSON report (-smoke for CI)
 
 common flags: -seed N, -scale paper|small, -links N, -catalog N`)
 }

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // binary builds the CLI once per test run.
@@ -208,6 +210,23 @@ func TestCLIServe(t *testing.T) {
 	after := post("/v1/link", `{"items":["http://provider.example/item/D000000"],"top_k":1}`)
 	if after == linkOut {
 		t.Fatal("upsert had no effect on the following link query")
+	}
+
+	// The metrics endpoint serves valid exposition text covering the
+	// traffic above: requests by path, stage timings from the link
+	// queries, and the upsert counted under its route.
+	metrics := get("/metrics")
+	if errs := obs.Lint(metrics); errs != nil {
+		t.Errorf("/metrics output fails exposition lint: %v", errs)
+	}
+	for _, want := range []string{
+		`linkrules_http_requests_total{path="/v1/link",code="200"} 2`,
+		`linkrules_http_requests_total{path="/v1/items/upsert",code="200"} 1`,
+		`linkrules_stage_seconds_count{stage="scoring"} 2`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	datalink "repro"
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -59,6 +61,8 @@ func cmdServe(args []string) error {
 	burst := fs.Int("burst", 0, "per-client burst capacity (0: max(1, round(rate)))")
 	apiKeysFile := fs.String("api-keys", "", "file of accepted API keys, one per line (empty: no authentication)")
 	strictAuth := fs.Bool("strict-auth", false, "reject unauthenticated requests with 401 (requires -api-keys)")
+	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ (gated by the auth middleware like any endpoint)")
+	accessLog := fs.Bool("access-log", false, "emit one structured JSON log line per request to stderr")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -70,6 +74,10 @@ func cmdServe(args []string) error {
 	if *strictAuth && len(keys) == 0 {
 		return fmt.Errorf("-strict-auth requires -api-keys with at least one key")
 	}
+	// One registry per process: the service's HTTP/pipeline instruments
+	// and the store's WAL/checkpoint instruments share the /metrics
+	// endpoint.
+	reg := obs.NewRegistry()
 	opts := service.Options{
 		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
 		DefaultLinker: datalink.DefaultLinkingConfig(),
@@ -81,6 +89,11 @@ func cmdServe(args []string) error {
 			APIKeys:        keys,
 			StrictAuth:     *strictAuth,
 		},
+		Metrics:     reg,
+		EnablePprof: *pprofOn,
+	}
+	if *accessLog {
+		opts.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
 	var svc *service.Service
@@ -89,7 +102,11 @@ func cmdServe(args []string) error {
 		if err != nil {
 			return err
 		}
-		st, rec, err := store.Open(*storeDir, store.Options{Fsync: mode, SnapshotEvery: *snapEvery})
+		st, rec, err := store.Open(*storeDir, store.Options{
+			Fsync:         mode,
+			SnapshotEvery: *snapEvery,
+			Metrics:       store.NewMetrics(reg),
+		})
 		if err != nil {
 			return err
 		}

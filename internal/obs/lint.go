@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint checks text against the Prometheus text exposition format and
+// returns every problem found (nil means clean): unparseable samples,
+// illegal metric or label names, samples without HELP/TYPE metadata,
+// negative counters, and histogram buckets that are non-cumulative or
+// disagree with their _count. Tests use it to pin /metrics output;
+// it is intentionally dependency-free like the rest of the package.
+func Lint(text string) []error {
+	var errs []error
+	typed := map[string]string{} // family -> type
+	helped := map[string]bool{}
+	bucketCum := map[string]uint64{} // series key (name+labels sans le) -> last cumulative
+	lastBucket := map[string]uint64{}
+	counts := map[string]uint64{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || !validMetricName(name) {
+				errs = append(errs, fmt.Errorf("line %d: bad HELP line %q", ln+1, line))
+			}
+			helped[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || !validMetricName(name) {
+				errs = append(errs, fmt.Errorf("line %d: bad TYPE line %q", ln+1, line))
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				errs = append(errs, fmt.Errorf("line %d: unknown type %q", ln+1, typ))
+			}
+			if !helped[name] {
+				errs = append(errs, fmt.Errorf("line %d: TYPE before HELP for %s", ln+1, name))
+			}
+			typed[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			errs = append(errs, fmt.Errorf("line %d: unknown comment %q", ln+1, line))
+			continue
+		}
+		name, labels, value, ok := parseSampleLine(line)
+		if !ok {
+			errs = append(errs, fmt.Errorf("line %d: unparseable sample %q", ln+1, line))
+			continue
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, found := strings.CutSuffix(name, suffix); found && typed[base] == "histogram" {
+				fam = base
+				break
+			}
+		}
+		if _, known := typed[fam]; !known {
+			errs = append(errs, fmt.Errorf("line %d: sample %s has no TYPE line", ln+1, name))
+		}
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			errs = append(errs, fmt.Errorf("line %d: bad value %q", ln+1, value))
+		}
+		if typed[fam] == "counter" && fam == name && v < 0 {
+			errs = append(errs, fmt.Errorf("line %d: negative counter %s", ln+1, name))
+		}
+		if typed[fam] == "histogram" {
+			key := fam + "{" + labelsWithoutLE(labels) + "}"
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				u := uint64(v)
+				if prev, seen := bucketCum[key]; seen && u < prev {
+					errs = append(errs, fmt.Errorf("line %d: non-cumulative bucket for %s", ln+1, key))
+				}
+				bucketCum[key] = u
+				lastBucket[key] = u
+			case strings.HasSuffix(name, "_count"):
+				counts[key] = uint64(v)
+			}
+		}
+	}
+	keys := make([]string, 0, len(counts))
+	for key := range counts {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if lastBucket[key] != counts[key] {
+			errs = append(errs, fmt.Errorf("%s: +Inf bucket %d != count %d", key, lastBucket[key], counts[key]))
+		}
+	}
+	return errs
+}
+
+// parseSampleLine splits `name{labels} value` (labels optional),
+// validating the metric name and label pair syntax.
+func parseSampleLine(line string) (name, labels, value string, ok bool) {
+	sp := strings.LastIndexByte(line, ' ')
+	if sp < 0 {
+		return "", "", "", false
+	}
+	series, value := line[:sp], line[sp+1:]
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", "", false
+		}
+		name, labels = series[:i], series[i+1:len(series)-1]
+		rest := labels
+		for rest != "" {
+			eq := strings.IndexByte(rest, '=')
+			if eq <= 0 || !validLabelName(rest[:eq]) {
+				return "", "", "", false
+			}
+			rest = rest[eq+1:]
+			if len(rest) < 2 || rest[0] != '"' {
+				return "", "", "", false
+			}
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return "", "", "", false
+			}
+			rest = rest[end+1:]
+			if rest != "" {
+				if rest[0] != ',' {
+					return "", "", "", false
+				}
+				rest = rest[1:]
+			}
+		}
+	} else {
+		name = series
+	}
+	return name, labels, value, validMetricName(name)
+}
+
+// labelsWithoutLE strips the le pair so bucket series group by child.
+func labelsWithoutLE(labels string) string {
+	var kept []string
+	for _, part := range splitLabelPairs(labels) {
+		if !strings.HasPrefix(part, `le="`) {
+			kept = append(kept, part)
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}
+
+// splitLabelPairs splits `a="1",b="2"` into pairs, respecting escaped
+// quotes inside values.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			out = append(out, rest)
+			break
+		}
+		end := eq + 2
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(rest) {
+			out = append(out, rest)
+			break
+		}
+		out = append(out, rest[:end+1])
+		rest = rest[end+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return out
+}

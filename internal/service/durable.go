@@ -64,6 +64,7 @@ func Restore(st *store.Store, rec *store.Recovery, seed *Seed, opts Options) (*S
 		}
 		s := New(seed.External, seed.Local, seed.Ontology, opts)
 		s.st = st
+		s.registerStoreMetrics(rec)
 		if len(seed.Training) > 0 {
 			s.mu.Lock()
 			s.links = append([]datalink.Link(nil), seed.Training...)
@@ -111,6 +112,7 @@ func Restore(st *store.Store, rec *store.Recovery, seed *Seed, opts Options) (*S
 	}
 	s := New(snap.External, snap.Local, ol, opts)
 	s.st = st
+	s.registerStoreMetrics(rec)
 	s.mu.Lock()
 	s.links = linksFromRefs(snap.Links)
 	if snap.Meta.Learned {

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	datalink "repro"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -23,20 +24,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // errorBody is the uniform error envelope. Reason, when set, is a
 // stable machine-readable token (see resilience.go) so clients can
 // react to overload, degradation and auth failures without parsing the
-// human-readable message.
+// human-readable message. RequestID echoes the X-Request-ID header so
+// an error response alone is enough to find the matching access-log
+// line.
 type errorBody struct {
-	Error  string `json:"error"`
-	Reason string `json:"reason,omitempty"`
+	Error     string `json:"error"`
+	Reason    string `json:"reason,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, code, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // writeErrReason writes the error envelope with a machine-readable
 // reason token.
 func writeErrReason(w http.ResponseWriter, code int, reason, format string, args ...any) {
-	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...), Reason: reason})
+	writeJSON(w, code, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		Reason:    reason,
+		RequestID: w.Header().Get("X-Request-ID"),
+	})
 }
 
 // writeCommitErr classifies a failed mutation commit: a store that
@@ -386,8 +397,17 @@ type linkResult struct {
 	Matches []matchJSON `json:"matches"`
 }
 
+// stageJSON is one entry of the ?debug=timings breakdown.
+type stageJSON struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
 type linkResponse struct {
 	Results []linkResult `json:"results"`
+	// Timings is the per-stage breakdown of this query, present only
+	// when the client asked for ?debug=timings.
+	Timings []stageJSON `json:"timings,omitempty"`
 }
 
 func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
@@ -431,16 +451,21 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 	} else {
 		items = qs.se.AllSubjects()
 	}
+	// Every link query carries a stage trace: its spans always feed the
+	// stage histograms, and with ?debug=timings the breakdown is also
+	// returned to the client.
+	tr := obs.NewTrace(s.met.stageSink())
+	ctx := obs.WithTrace(r.Context(), tr)
 	// The request context threads through the engine's worker pool: a
 	// dropped connection cancels in-flight scoring.
-	topk, err := qs.view.LinkTopK(r.Context(), items, cfg, req.TopK)
+	topk, err := qs.view.LinkTopK(ctx, items, cfg, req.TopK)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
 			// The server-imposed request deadline expired mid-scoring:
 			// overload shedding, not a client problem, so tell the client
 			// when to come back.
-			s.res.timeouts.Add(1)
+			s.res.timeouts.Inc()
 			retryAfterHeader(w, s.res.opts.RetryAfter)
 			writeErrReason(w, http.StatusServiceUnavailable, reasonTimeout,
 				"scoring exceeded the request deadline: %v", err)
@@ -463,7 +488,13 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 		results = append(results, lr)
 	}
 	sort.Slice(results, func(i, j int) bool { return results[i].Item < results[j].Item })
-	writeJSON(w, http.StatusOK, linkResponse{Results: results})
+	resp := linkResponse{Results: results}
+	if r.URL.Query().Get("debug") == "timings" {
+		for _, st := range tr.Stages() {
+			resp.Timings = append(resp.Timings, stageJSON{Stage: st.Name, Seconds: st.Duration.Seconds()})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // snapshotResponse reports a forced checkpoint.

@@ -3,13 +3,15 @@ package service
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Overload protection: every request (except the /healthz liveness
@@ -76,12 +78,15 @@ type ResilienceOptions struct {
 // anonKey is the bucket key unauthenticated clients share.
 const anonKey = ""
 
-// resilience is the middleware's runtime state.
+// resilience is the middleware's runtime state. Its counters and the
+// in-flight gauge are obs instruments: /v1/status reads their values,
+// /metrics renders the very same atomics, so the two views agree by
+// construction.
 type resilience struct {
 	opts ResilienceOptions
 
 	sem      chan struct{} // nil when MaxInFlight == 0
-	inFlight atomic.Int64
+	inFlight *obs.Gauge
 	burst    float64
 	clock    func() time.Time
 
@@ -90,15 +95,27 @@ type resilience struct {
 	// takes no lock.
 	buckets map[string]*bucket
 
-	rejectedOverload atomic.Uint64
-	rejectedRate     atomic.Uint64
-	rejectedAuth     atomic.Uint64
-	timeouts         atomic.Uint64
-	panics           atomic.Uint64
+	met *serviceMetrics
+	log *slog.Logger // access log; nil disables
+
+	rejectedOverload *obs.Counter
+	rejectedRate     *obs.Counter
+	rejectedAuth     *obs.Counter
+	timeouts         *obs.Counter
+	panics           *obs.Counter
 }
 
-func newResilience(opts ResilienceOptions) *resilience {
-	rz := &resilience{opts: opts, clock: opts.Clock}
+func newResilience(opts ResilienceOptions, met *serviceMetrics, accessLog *slog.Logger) *resilience {
+	if met == nil {
+		met = newServiceMetrics(obs.NewRegistry())
+	}
+	rz := &resilience{opts: opts, clock: opts.Clock, met: met, log: accessLog}
+	rz.inFlight = met.inFlight
+	rz.rejectedOverload = met.rejected.With(reasonOverloaded)
+	rz.rejectedRate = met.rejected.With(reasonRateLimited)
+	rz.rejectedAuth = met.rejected.With(reasonUnauthorized)
+	rz.timeouts = met.timeouts
+	rz.panics = met.panics
 	if rz.clock == nil {
 		rz.clock = time.Now
 	}
@@ -155,12 +172,7 @@ func (b *bucket) take(now time.Time, rate, burst float64) (bool, time.Duration) 
 // presented keys are deliberately NOT used as bucket keys then, or any
 // client could mint itself fresh buckets at will.
 func (rz *resilience) client(r *http.Request) (key string, ok bool) {
-	presented := r.Header.Get("X-API-Key")
-	if presented == "" {
-		if auth := r.Header.Get("Authorization"); len(auth) > 7 && strings.EqualFold(auth[:7], "Bearer ") {
-			presented = auth[7:]
-		}
-	}
+	presented := presentedKey(r)
 	if len(rz.buckets) == 1 { // no APIKeys configured
 		return anonKey, true
 	}
@@ -174,6 +186,18 @@ func (rz *resilience) client(r *http.Request) (key string, ok bool) {
 		return "", false
 	}
 	return anonKey, true
+}
+
+// presentedKey extracts the client's API key from the request headers
+// (X-API-Key, or Authorization: Bearer), or "" when none was sent.
+func presentedKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); len(auth) > 7 && strings.EqualFold(auth[:7], "Bearer ") {
+		return auth[7:]
+	}
+	return ""
 }
 
 // allow runs the rate-limit check for one admitted client key.
@@ -222,7 +246,20 @@ func retryAfterHeader(w http.ResponseWriter, d time.Duration) {
 // wrap applies the middleware stack around the service mux.
 func (rz *resilience) wrap(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every response carries a request ID — the inbound one when the
+		// client sent a header-safe value, a fresh one otherwise. It is
+		// set on the shared header map up front so error envelopes and
+		// the access log can read it back without extra plumbing.
+		reqID := r.Header.Get("X-Request-ID")
+		if !validRequestID(reqID) {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
 		sw := &statusWriter{ResponseWriter: w}
+		// Registered before the recovery defer: LIFO runs it after
+		// recoverPanic has turned a panic into the 500 it records.
+		t0 := time.Now()
+		defer rz.record(sw, r, reqID, t0)
 		defer rz.recoverPanic(sw)
 		if r.URL.Path == "/healthz" {
 			// The liveness probe bypasses every limit: an orchestrator
@@ -232,19 +269,19 @@ func (rz *resilience) wrap(next http.Handler) http.Handler {
 		}
 		key, ok := rz.client(r)
 		if !ok {
-			rz.rejectedAuth.Add(1)
+			rz.rejectedAuth.Inc()
 			sw.Header().Set("WWW-Authenticate", "Bearer")
 			writeErrReason(sw, http.StatusUnauthorized, reasonUnauthorized, "missing or unknown API key")
 			return
 		}
 		if ok, wait := rz.allow(key); !ok {
-			rz.rejectedRate.Add(1)
+			rz.rejectedRate.Inc()
 			retryAfterHeader(sw, wait)
 			writeErrReason(sw, http.StatusTooManyRequests, reasonRateLimited, "client rate limit exceeded")
 			return
 		}
 		if !rz.acquire() {
-			rz.rejectedOverload.Add(1)
+			rz.rejectedOverload.Inc()
 			retryAfterHeader(sw, rz.opts.RetryAfter)
 			writeErrReason(sw, http.StatusTooManyRequests,
 				reasonOverloaded, "server at capacity (%d requests in flight)", rz.opts.MaxInFlight)
@@ -259,7 +296,7 @@ func (rz *resilience) wrap(next http.Handler) http.Handler {
 				// The handler gave up on the expired context without
 				// answering (handlers that classify the error themselves,
 				// like /v1/link, have written 503 already and count below).
-				rz.timeouts.Add(1)
+				rz.timeouts.Inc()
 				retryAfterHeader(sw, rz.opts.RetryAfter)
 				writeErrReason(sw, http.StatusServiceUnavailable,
 					reasonTimeout, "request exceeded the %s server deadline", d)
@@ -268,6 +305,32 @@ func (rz *resilience) wrap(next http.Handler) http.Handler {
 		}
 		next.ServeHTTP(sw, r)
 	})
+}
+
+// record lands one finished request in the endpoint metrics and, when
+// configured, the structured access log. Runs after panic recovery, so
+// recovered 500s are counted like any other response.
+func (rz *resilience) record(sw *statusWriter, r *http.Request, reqID string, t0 time.Time) {
+	code := sw.status
+	if !sw.wrote {
+		code = http.StatusOK // a handler that wrote nothing: net/http sends 200
+	}
+	d := time.Since(t0)
+	path := normalizePath(r.URL.Path)
+	rz.met.requests.With(path, strconv.Itoa(code)).Inc()
+	rz.met.duration.With(path).Observe(d.Seconds())
+	rz.met.respBytes.With(path).Observe(float64(sw.bytes))
+	if rz.log != nil {
+		rz.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Duration("duration", d),
+			slog.Int64("bytes", sw.bytes),
+			slog.String("client", hashKey(presentedKey(r))),
+			slog.String("request_id", reqID),
+		)
+	}
 }
 
 // recoverPanic turns a handler panic into a 500 (when nothing was
@@ -281,7 +344,7 @@ func (rz *resilience) recoverPanic(w *statusWriter) {
 	if err, ok := p.(error); ok && err == http.ErrAbortHandler {
 		panic(p)
 	}
-	rz.panics.Add(1)
+	rz.panics.Inc()
 	if !w.wrote {
 		// The panic value stays out of the response: it may contain
 		// internal state. It is preserved for operators via the panics
@@ -290,12 +353,14 @@ func (rz *resilience) recoverPanic(w *statusWriter) {
 	}
 }
 
-// statusWriter tracks whether a response has been started, so the
-// recovery and deadline layers know if they may still write an error.
+// statusWriter tracks whether a response has been started (so the
+// recovery and deadline layers know if they may still write an error),
+// plus the status and body size the metrics and access log record.
 type statusWriter struct {
 	http.ResponseWriter
 	wrote  bool
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -309,7 +374,9 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	if !w.wrote {
 		w.wrote, w.status = true, http.StatusOK
 	}
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush keeps streaming handlers working through the wrapper.
@@ -341,16 +408,16 @@ type resilienceJSON struct {
 
 func (rz *resilience) statusJSON() *resilienceJSON {
 	j := &resilienceJSON{
-		InFlight:         rz.inFlight.Load(),
+		InFlight:         rz.inFlight.Value(),
 		MaxInFlight:      rz.opts.MaxInFlight,
 		Rate:             rz.opts.Rate,
 		StrictAuth:       rz.opts.StrictAuth,
 		APIKeys:          len(rz.buckets) - 1, // minus the anonymous bucket
-		RejectedOverload: rz.rejectedOverload.Load(),
-		RejectedRate:     rz.rejectedRate.Load(),
-		RejectedAuth:     rz.rejectedAuth.Load(),
-		Timeouts:         rz.timeouts.Load(),
-		Panics:           rz.panics.Load(),
+		RejectedOverload: rz.rejectedOverload.Value(),
+		RejectedRate:     rz.rejectedRate.Value(),
+		RejectedAuth:     rz.rejectedAuth.Value(),
+		Timeouts:         rz.timeouts.Value(),
+		Panics:           rz.panics.Value(),
 	}
 	if rz.opts.Rate > 0 {
 		j.Burst = int(rz.burst)

@@ -38,7 +38,7 @@ func reasonOf(t *testing.T, rec *httptest.ResponseRecorder) string {
 
 func TestAdmissionControlRejectsExcess(t *testing.T) {
 	const cap = 2
-	rz := newResilience(ResilienceOptions{MaxInFlight: cap})
+	rz := newResilience(ResilienceOptions{MaxInFlight: cap}, nil, nil)
 	entered := make(chan struct{}, cap)
 	release := make(chan struct{})
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -85,10 +85,10 @@ func TestAdmissionControlRejectsExcess(t *testing.T) {
 			t.Errorf("admitted request %d: code = %d, want 200", i, c)
 		}
 	}
-	if got := rz.rejectedOverload.Load(); got != 1 {
+	if got := rz.rejectedOverload.Value(); got != 1 {
 		t.Errorf("rejectedOverload = %d, want 1", got)
 	}
-	if got := rz.inFlight.Load(); got != 0 {
+	if got := rz.inFlight.Value(); got != 0 {
 		t.Errorf("inFlight after drain = %d, want 0", got)
 	}
 }
@@ -100,7 +100,7 @@ func TestRateLimitPerKey(t *testing.T) {
 		Burst:   2,
 		APIKeys: []string{"alice", "bob"},
 		Clock:   func() time.Time { return now },
-	})
+	}, nil, nil)
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	}))
@@ -129,7 +129,7 @@ func TestRateLimitPerKey(t *testing.T) {
 	if rec := sendKeyed(h, "GET", "/v1/status", "alice"); rec.Code != http.StatusOK {
 		t.Errorf("alice after refill: code = %d, want 200", rec.Code)
 	}
-	if got := rz.rejectedRate.Load(); got != 1 {
+	if got := rz.rejectedRate.Value(); got != 1 {
 		t.Errorf("rejectedRate = %d, want 1", got)
 	}
 }
@@ -140,7 +140,7 @@ func TestRateLimitAnonymousSharedBucket(t *testing.T) {
 		Rate:  1,
 		Burst: 1,
 		Clock: func() time.Time { return now },
-	})
+	}, nil, nil)
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	}))
@@ -156,7 +156,7 @@ func TestRateLimitAnonymousSharedBucket(t *testing.T) {
 }
 
 func TestStrictAuth(t *testing.T) {
-	rz := newResilience(ResilienceOptions{APIKeys: []string{"k1"}, StrictAuth: true})
+	rz := newResilience(ResilienceOptions{APIKeys: []string{"k1"}, StrictAuth: true}, nil, nil)
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	}))
@@ -187,13 +187,13 @@ func TestStrictAuth(t *testing.T) {
 	if rec := sendKeyed(h, "GET", "/healthz", ""); rec.Code != http.StatusOK {
 		t.Errorf("/healthz without key in strict mode: code = %d, want 200", rec.Code)
 	}
-	if got := rz.rejectedAuth.Load(); got != 2 {
+	if got := rz.rejectedAuth.Value(); got != 2 {
 		t.Errorf("rejectedAuth = %d, want 2", got)
 	}
 }
 
 func TestPanicRecoveryKeepsServing(t *testing.T) {
-	rz := newResilience(ResilienceOptions{})
+	rz := newResilience(ResilienceOptions{}, nil, nil)
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/boom" {
 			panic("handler bug")
@@ -212,13 +212,13 @@ func TestPanicRecoveryKeepsServing(t *testing.T) {
 	if rec := sendKeyed(h, "GET", "/v1/status", ""); rec.Code != http.StatusOK {
 		t.Errorf("request after panic: code = %d, want 200", rec.Code)
 	}
-	if got := rz.panics.Load(); got != 1 {
+	if got := rz.panics.Value(); got != 1 {
 		t.Errorf("panics = %d, want 1", got)
 	}
 }
 
 func TestPanicRecoveryPreservesAbortHandler(t *testing.T) {
-	rz := newResilience(ResilienceOptions{})
+	rz := newResilience(ResilienceOptions{}, nil, nil)
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic(http.ErrAbortHandler)
 	}))
@@ -232,7 +232,7 @@ func TestPanicRecoveryPreservesAbortHandler(t *testing.T) {
 }
 
 func TestDeadlineAnswersUnwrittenRequests(t *testing.T) {
-	rz := newResilience(ResilienceOptions{RequestTimeout: 20 * time.Millisecond})
+	rz := newResilience(ResilienceOptions{RequestTimeout: 20 * time.Millisecond}, nil, nil)
 	h := rz.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// A handler that honors the context but forgets to answer.
 		<-r.Context().Done()
@@ -247,7 +247,7 @@ func TestDeadlineAnswersUnwrittenRequests(t *testing.T) {
 	if got := reasonOf(t, rec); got != reasonTimeout {
 		t.Errorf("reason = %q, want %q", got, reasonTimeout)
 	}
-	if got := rz.timeouts.Load(); got != 1 {
+	if got := rz.timeouts.Value(); got != 1 {
 		t.Errorf("timeouts = %d, want 1", got)
 	}
 }
@@ -386,7 +386,7 @@ func corpusServiceWith(t *testing.T, res ResilienceOptions) *Service {
 	t.Helper()
 	s := corpusService(t)
 	s.opts.Resilience = res
-	s.res = newResilience(res)
+	s.res = newResilience(res, s.met, nil)
 	return s
 }
 
@@ -399,7 +399,7 @@ func BenchmarkResilienceHotPath(b *testing.B) {
 		Rate:        1e9, // never empties at benchmark speed
 		Burst:       1 << 20,
 		APIKeys:     []string{"bench-key"},
-	})
+	}, nil, nil)
 	req := httptest.NewRequest("POST", "/v1/link", nil)
 	req.Header.Set("X-API-Key", "bench-key")
 	b.ReportAllocs()

@@ -57,11 +57,15 @@ package service
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	datalink "repro"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -80,6 +84,19 @@ type Options struct {
 	// recovery, admission control, rate limiting, request deadlines); the
 	// zero value applies no limits. See resilience.go.
 	Resilience ResilienceOptions
+	// Metrics is the registry the service registers its instruments on
+	// and serves at GET /metrics; nil means a fresh private registry.
+	// Share one registry between the service and its store
+	// (store.NewMetrics) for a single scrape endpoint — but never
+	// between two services, which would collide on metric names.
+	Metrics *obs.Registry
+	// AccessLog, when set, receives one structured line per request
+	// (method, path, status, duration, hashed client key, request ID).
+	AccessLog *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/, inside the
+	// resilience wrap — so auth, rate limiting and admission control
+	// gate the profiler exactly like any API endpoint.
+	EnablePprof bool
 }
 
 // Service is the shared state behind the HTTP API. Mutations (items,
@@ -124,6 +141,11 @@ type Service struct {
 	// res is the overload-protection middleware state (see
 	// resilience.go); always non-nil.
 	res *resilience
+
+	// reg/met are the metrics registry and the service instrument set
+	// (see metrics.go); always non-nil.
+	reg *obs.Registry
+	met *serviceMetrics
 }
 
 // queryState is one published point-in-time view: frozen copy-on-write
@@ -154,16 +176,26 @@ func New(se, sl *datalink.Graph, ol *datalink.Ontology, opts Options) *Service {
 		opts.MaxBodyBytes = 8 << 20
 	}
 	s := &Service{opts: opts, se: se, sl: sl, ol: ol}
-	s.res = newResilience(opts.Resilience)
+	s.reg = opts.Metrics
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	s.met = newServiceMetrics(s.reg)
+	s.res = newResilience(opts.Resilience, s.met, opts.AccessLog)
 	s.publishLocked()
 	return s
 }
+
+// Metrics returns the registry behind GET /metrics, for embedding
+// callers that scrape or extend it programmatically.
+func (s *Service) Metrics() *obs.Registry { return s.reg }
 
 // publishLocked snapshots the live state into a fresh queryState and
 // swaps it in for queries. O(1): graph and instance-index snapshots are
 // copy-on-write, and unchanged graphs reuse their cached snapshot.
 // Callers must hold the write lock (or be the constructor).
 func (s *Service) publishLocked() {
+	t0 := time.Now()
 	qs := &queryState{
 		se:    s.se.Snapshot(),
 		sl:    s.sl.Snapshot(),
@@ -174,6 +206,7 @@ func (s *Service) publishLocked() {
 		qs.view = s.pipe.Snapshot()
 	}
 	s.state.Store(qs)
+	s.met.stages.With("publish").ObserveSince(t0)
 }
 
 // LearnLinks appends labeled links and relearns the model — the
@@ -214,11 +247,13 @@ func (s *Service) learnLocked() error {
 // failure the previous model and basis stay in place. Callers must hold
 // the write lock.
 func (s *Service) learnBasisLocked(b *learnBasis) error {
+	t0 := time.Now()
 	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), b.links...)}
 	m, err := datalink.Learn(s.opts.Learner, ts, b.se, b.sl, s.ol)
 	if err != nil {
 		return err
 	}
+	s.met.stages.With("learn").ObserveSince(t0)
 	s.pipe = datalink.NewPipelineWithModel(m, s.se, s.sl, s.ol)
 	s.basis = b
 	s.freezeInstancesLocked()
@@ -303,5 +338,16 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/rules", s.handleRules)
 	mux.HandleFunc("POST /v1/link", s.handleLink)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
+	mux.Handle("GET /metrics", s.reg)
+	if s.opts.EnablePprof {
+		// Registered inside the mux, so the resilience wrap outside it
+		// (auth, rate limiting, admission) gates the profiler; only
+		// /healthz bypasses those checks.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s.res.wrap(mux)
 }

@@ -1,0 +1,48 @@
+package store
+
+import "repro/internal/obs"
+
+// Metrics holds the store's hot-path instruments. All fields are
+// optional: a nil *Metrics (or any nil instrument) makes every
+// observation a no-op, so the store never branches on "is monitoring
+// on". Point-in-time durability state (sequence numbers, WAL bytes,
+// snapshot counts, degraded flag) is NOT duplicated here — the service
+// layer exposes it through Func gauges reading Stats(), so /metrics and
+// /v1/status can never disagree.
+type Metrics struct {
+	// AppendsTotal counts acknowledged WAL appends.
+	AppendsTotal *obs.Counter
+	// AppendBytesTotal counts framed bytes written to the WAL
+	// (header + payload, the same accounting as Stats().WALBytes).
+	AppendBytesTotal *obs.Counter
+	// AppendFailuresTotal counts appends that poisoned the store.
+	AppendFailuresTotal *obs.Counter
+	// FsyncSeconds times every WAL fsync (foreground and background).
+	FsyncSeconds *obs.Histogram
+	// CheckpointSeconds times successful snapshot writes.
+	CheckpointSeconds *obs.Histogram
+	// CheckpointLastBytes is the size of the newest snapshot file.
+	CheckpointLastBytes *obs.Gauge
+	// CheckpointFailuresTotal counts failed snapshot writes.
+	CheckpointFailuresTotal *obs.Counter
+}
+
+// NewMetrics registers the store instrument set on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		AppendsTotal: reg.Counter("linkrules_wal_appends_total",
+			"Acknowledged write-ahead log appends."),
+		AppendBytesTotal: reg.Counter("linkrules_wal_append_bytes_total",
+			"Framed bytes appended to the write-ahead log."),
+		AppendFailuresTotal: reg.Counter("linkrules_wal_append_failures_total",
+			"WAL append or sync failures (each poisons the store until restart)."),
+		FsyncSeconds: reg.Histogram("linkrules_wal_fsync_seconds",
+			"Write-ahead log fsync latency.", obs.FastBuckets()),
+		CheckpointSeconds: reg.Histogram("linkrules_checkpoint_seconds",
+			"Successful checkpoint (snapshot write) duration.", obs.DefBuckets()),
+		CheckpointLastBytes: reg.Gauge("linkrules_checkpoint_last_bytes",
+			"Size of the newest snapshot file."),
+		CheckpointFailuresTotal: reg.Counter("linkrules_checkpoint_failures_total",
+			"Failed checkpoint writes."),
+	}
+}

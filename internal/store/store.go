@@ -71,6 +71,9 @@ type Options struct {
 	// means the real one (OSFS). Fault-injection tests substitute
 	// internal/faultfs here.
 	FS FS
+	// Metrics receives hot-path observations (appends, fsyncs,
+	// checkpoints); nil disables them at zero cost.
+	Metrics *Metrics
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.KeepSnapshots <= 0 {
 		o.KeepSnapshots = 2
+	}
+	if o.Metrics == nil {
+		o.Metrics = &Metrics{} // all-nil instruments: observations no-op
 	}
 	return o
 }
@@ -356,8 +362,10 @@ func (s *Store) Append(rec *Record) (uint64, error) {
 		// slot consumed, the store stays usable.
 		return 0, fmt.Errorf("store: record of %d bytes exceeds the %d-byte wal frame cap", len(payload), maxWALRecord)
 	}
+	m := s.opts.Metrics
 	if err := s.wal.append(payload); err != nil {
 		s.failed = err
+		m.AppendFailuresTotal.Inc()
 		return 0, err
 	}
 	// The frame occupies its sequence slot from here on, even if the
@@ -366,18 +374,33 @@ func (s *Store) Append(rec *Record) (uint64, error) {
 	rec.Seq = seq
 	if err := s.wal.flush(); err != nil {
 		s.failed = err
+		m.AppendFailuresTotal.Inc()
 		return 0, err
 	}
 	switch s.opts.Fsync {
 	case FsyncAlways:
-		if err := s.wal.sync(); err != nil {
+		if err := s.syncWALLocked(); err != nil {
 			s.failed = err
+			m.AppendFailuresTotal.Inc()
 			return 0, err
 		}
 	case FsyncInterval:
 		s.dirty = true
 	}
+	m.AppendsTotal.Inc()
+	m.AppendBytesTotal.Add(uint64(8 + len(payload))) // frame header + payload
 	return seq, nil
+}
+
+// syncWALLocked fsyncs the current segment, timing it into the fsync
+// histogram. Callers hold s.mu.
+func (s *Store) syncWALLocked() error {
+	t0 := time.Now()
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	s.opts.Metrics.FsyncSeconds.ObserveSince(t0)
+	return nil
 }
 
 // SnapshotDue reports whether enough records accumulated since the last
@@ -448,7 +471,11 @@ func (s *Store) Rotate() (uint64, error) {
 // the bookkeeping at the end takes it. Callers obtain snap.Seq from
 // Rotate and capture the state while still holding their writer lock.
 func (s *Store) WriteCheckpoint(snap *Snapshot) error {
-	if _, _, err := writeSnapshotFile(s.fs, s.dir, snap); err != nil {
+	m := s.opts.Metrics
+	t0 := time.Now()
+	_, size, err := writeSnapshotFile(s.fs, s.dir, snap)
+	if err != nil {
+		m.CheckpointFailuresTotal.Inc()
 		s.mu.Lock()
 		if snap.Seq > s.snapHoldoff {
 			s.snapHoldoff = snap.Seq
@@ -456,6 +483,8 @@ func (s *Store) WriteCheckpoint(snap *Snapshot) error {
 		s.mu.Unlock()
 		return err
 	}
+	m.CheckpointSeconds.ObserveSince(t0)
+	m.CheckpointLastBytes.Set(size)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if snap.Seq > s.snapSeq {
@@ -571,7 +600,7 @@ func (s *Store) Sync() error {
 	if s.closed {
 		return nil
 	}
-	if err := s.wal.sync(); err != nil {
+	if err := s.syncWALLocked(); err != nil {
 		s.failed = err
 		return err
 	}
@@ -594,7 +623,7 @@ func (s *Store) fsyncLoop() {
 		case <-t.C:
 			s.mu.Lock()
 			if !s.closed && s.failed == nil && s.dirty {
-				if err := s.wal.sync(); err != nil {
+				if err := s.syncWALLocked(); err != nil {
 					s.failed = err
 				} else {
 					s.dirty = false

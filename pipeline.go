@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/linkage"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/similarity"
 )
@@ -185,14 +186,20 @@ func (p *Pipeline) LinkWithinCtx(ctx context.Context, items []Term, cfg LinkerCo
 // Candidate expansion (classification) runs serially; the scoring stage
 // fans out across cfg.Workers goroutines.
 func (p *Pipeline) LinkTopK(ctx context.Context, items []Term, cfg LinkerConfig, k int) (map[Term][]Match, error) {
+	sp := obs.StartSpan(ctx, "engine")
 	eng, err := p.linkerFor(cfg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("datalink: building linker: %w", err)
 	}
+	sp = obs.StartSpan(ctx, "blocking")
 	cands, err := expandCandidates(ctx, p.Classifier, p.se, p.Instances, items)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan(ctx, "scoring")
+	defer sp.End()
 	return topKOver(ctx, eng, cfg.Workers, cands, k)
 }
 
@@ -411,15 +418,24 @@ func (v *QueryView) engineFor(cfg LinkerConfig) (*linkage.Engine, error) {
 // LinkTopK is Pipeline.LinkTopK against the view's frozen state: every
 // candidate expansion reads the snapshots, and no lock beyond the
 // engine's internal per-batch read lock is held while scoring runs.
+// When the context carries an obs.Trace, the engine-resolution,
+// blocking and scoring stages are timed into it; without one the spans
+// are free.
 func (v *QueryView) LinkTopK(ctx context.Context, items []Term, cfg LinkerConfig, k int) (map[Term][]Match, error) {
+	sp := obs.StartSpan(ctx, "engine")
 	eng, err := v.engineFor(cfg)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("datalink: building linker: %w", err)
 	}
+	sp = obs.StartSpan(ctx, "blocking")
 	cands, err := expandCandidates(ctx, v.p.Classifier, v.se, v.ix, items)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = obs.StartSpan(ctx, "scoring")
+	defer sp.End()
 	return topKOver(ctx, eng, cfg.Workers, cands, k)
 }
 
