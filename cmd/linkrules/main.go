@@ -24,6 +24,8 @@
 //	classify    classify external items with saved rules
 //	serve       run the live linking service (HTTP/JSON)
 //	bench       run the service benchmark, emit a JSON report
+//	loadgen     drive a service with a mixed workload, check the SLO
+//	version     print build identity (version, go version, revision)
 //	all         run every experiment in sequence
 package main
 
@@ -36,7 +38,15 @@ import (
 	"strings"
 
 	datalink "repro"
+	"repro/internal/obs"
 )
+
+// printVersion reports the build identity — the same triple every
+// /metrics scrape exposes as the linkrules_build_info gauge.
+func printVersion() {
+	bi := obs.Build()
+	fmt.Printf("linkrules %s (%s, %s)\n", bi.Version, bi.Revision, bi.GoVersion)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -86,6 +96,10 @@ func main() {
 		err = cmdServe(args)
 	case "bench":
 		err = cmdBench(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
+	case "version", "-version", "--version":
+		printVersion()
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -140,6 +154,15 @@ service:
                           service stack (upsert throughput, learn time,
                           link p50/p99, WAL append rate) and emit a
                           machine-readable JSON report (-smoke for CI)
+
+  loadgen -qps N          drive a service (in-process, or -addr HOST:PORT
+                          for a running one) with a mixed open-loop
+                          workload (-mix link=90,upsert=9,learn=1) for
+                          -duration, diff its /metrics scrapes, and emit
+                          a JSON report; -slo-p99 MS makes a missed link
+                          p99 exit non-zero (-smoke for CI)
+
+  version                 print build identity (also -version)
 
 common flags: -seed N, -scale paper|small, -links N, -catalog N`)
 }

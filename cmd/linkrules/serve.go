@@ -43,6 +43,11 @@ import (
 // accepted keys; -strict-auth turns unauthenticated requests into
 // 401s). See the service package's resilience middleware.
 //
+// The flight recorder keeps the tail of the request stream: every slow
+// (-slow-ms) or errored request is retained with its stage-level trace,
+// plus a -trace-sample fraction of normal traffic, queryable via
+// -debug-requests (GET /debug/requests). See examples/service/README.md.
+//
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests get
 // a drain deadline and the WAL is flushed and synced before exit.
 func cmdServe(args []string) error {
@@ -63,6 +68,9 @@ func cmdServe(args []string) error {
 	strictAuth := fs.Bool("strict-auth", false, "reject unauthenticated requests with 401 (requires -api-keys)")
 	pprofOn := fs.Bool("pprof", false, "mount /debug/pprof/ (gated by the auth middleware like any endpoint)")
 	accessLog := fs.Bool("access-log", false, "emit one structured JSON log line per request to stderr")
+	slowMS := fs.Float64("slow-ms", 0, "flight recorder slow threshold in ms; slow/error requests keep their stage traces (0: default 250)")
+	traceSample := fs.Float64("trace-sample", 0, "fraction of fast requests the flight recorder also samples (0..1)")
+	debugRequests := fs.Bool("debug-requests", false, "mount GET /debug/requests (the flight recorder query endpoint, gated like pprof)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
@@ -91,6 +99,14 @@ func cmdServe(args []string) error {
 		},
 		Metrics:     reg,
 		EnablePprof: *pprofOn,
+		Recorder: obs.RecorderOptions{
+			SlowThreshold: time.Duration(*slowMS * float64(time.Millisecond)),
+			SampleRate:    *traceSample,
+		},
+		DebugRequests: *debugRequests,
+	}
+	if *slowMS < 0 || *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-slow-ms must be >= 0 and -trace-sample in [0,1]")
 	}
 	if *accessLog {
 		opts.AccessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: module version, Go toolchain
+// and VCS revision, as far as the build embedded them.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit (short), suffixed "+dirty" when the
+	// working tree was modified; "unknown" when not embedded.
+	Revision string `json:"revision"`
+}
+
+// Build reads the binary's embedded build information. Never fails:
+// missing fields come back as "unknown".
+func Build() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		bi.Revision = rev
+	}
+	return bi
+}

@@ -225,6 +225,10 @@ type family struct {
 	// time (CounterFunc/GaugeFunc) — for values owned by existing state
 	// that must never disagree with it.
 	fn func() float64
+	// hfn, when set, makes this a function-sourced histogram read at
+	// scrape time (HistogramFunc) — for pre-bucketed distributions like
+	// runtime/metrics GC pause histograms.
+	hfn func() HistogramSnapshot
 }
 
 // get returns the child for the given label values, creating it on
@@ -373,6 +377,34 @@ func (r *Registry) CounterFunc(name, help string, fn func() float64) {
 	r.register(name, help, typeCounter, nil, nil).fn = fn
 }
 
+// HistogramBucket is one cumulative bucket of a HistogramSnapshot:
+// Count observations at or below Upper.
+type HistogramBucket struct {
+	Upper float64
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time cumulative histogram, as
+// returned by a HistogramFunc source. Buckets must be sorted by Upper
+// with non-decreasing counts; Count is the total observation count and
+// Sum the (possibly estimated) sum of observed values.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket
+	Sum     float64
+	Count   uint64
+}
+
+// HistogramFunc registers a histogram whose full bucket layout and
+// counts are read from fn at scrape time. Use it for distributions
+// maintained elsewhere with their own bucketing — e.g. runtime/metrics
+// GC pause and scheduler latency histograms — where re-observing into a
+// push histogram would lose or distort the source's resolution.
+func (r *Registry) HistogramFunc(name, help string, fn func() HistogramSnapshot) {
+	// The placeholder bucket satisfies registration validation; rendering
+	// uses the snapshot's own bounds.
+	r.register(name, help, typeHistogram, nil, []float64{math.Inf(1)}).hfn = fn
+}
+
 // WritePrometheus renders every family in the text exposition format,
 // families sorted by name and children by label values, so output is
 // deterministic for a quiesced registry.
@@ -423,6 +455,30 @@ func (f *family) write(b *strings.Builder) {
 		b.WriteByte(' ')
 		b.WriteString(formatFloat(f.fn()))
 		b.WriteByte('\n')
+		return
+	}
+	if f.hfn != nil {
+		snap := f.hfn()
+		last := math.Inf(-1)
+		infSeen := false
+		for _, bk := range snap.Buckets {
+			if bk.Upper <= last {
+				continue // defend against out-of-order source buckets
+			}
+			last = bk.Upper
+			if math.IsInf(bk.Upper, 1) {
+				infSeen = true
+				// +Inf must equal _count for a well-formed histogram.
+				writeSample(b, f.name+"_bucket", nil, nil, "le", "+Inf", strconv.FormatUint(snap.Count, 10))
+				break
+			}
+			writeSample(b, f.name+"_bucket", nil, nil, "le", formatFloat(bk.Upper), strconv.FormatUint(bk.Count, 10))
+		}
+		if !infSeen {
+			writeSample(b, f.name+"_bucket", nil, nil, "le", "+Inf", strconv.FormatUint(snap.Count, 10))
+		}
+		writeSample(b, f.name+"_sum", nil, nil, "", "", formatFloat(snap.Sum))
+		writeSample(b, f.name+"_count", nil, nil, "", "", strconv.FormatUint(snap.Count, 10))
 		return
 	}
 

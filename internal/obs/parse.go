@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// SampleValue is one parsed exposition sample: a fully-qualified series
+// name (including _bucket/_sum/_count suffixes), its label set, and the
+// value.
+type SampleValue struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Key renders the sample's identity as name{k="v",...} with labels
+// sorted — a stable map key for delta computation across two scrapes.
+func (s SampleValue) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	// Insertion sort: label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(s.Labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseText parses a Prometheus 0.0.4 text exposition into samples,
+// skipping comment lines. It is the read half of WritePrometheus —
+// used by the loadgen harness to diff two scrapes of a live service.
+// The first malformed sample line aborts with an error.
+func ParseText(text string) ([]SampleValue, error) {
+	var out []SampleValue
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, ok := parseSampleLine(line)
+		if !ok {
+			return nil, fmt.Errorf("obs: line %d: unparseable sample %q", ln+1, line)
+		}
+		v, err := parseValue(value)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %v", ln+1, err)
+		}
+		sv := SampleValue{Name: name, Value: v}
+		if labels != "" {
+			sv.Labels = make(map[string]string)
+			for _, pair := range splitLabelPairs(labels) {
+				k, val, found := strings.Cut(pair, "=")
+				if !found || len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+					return nil, fmt.Errorf("obs: line %d: bad label pair %q", ln+1, pair)
+				}
+				sv.Labels[k] = unescapeLabel(val[1 : len(val)-1])
+			}
+		}
+		out = append(out, sv)
+	}
+	return out, nil
+}
+
+// parseValue handles the exposition's special float spellings.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// unescapeLabel reverses escapeLabel.
+func unescapeLabel(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight recorder: a fixed-size in-memory record of recently completed
+// requests, built to answer "why was *this* query slow?" when aggregate
+// histograms can't. Retention is tail-based — the interesting outliers
+// (slow, errored or rejected requests) are always kept in their own
+// ring, so a burst of fast traffic can never evict them, while ordinary
+// fast requests are probabilistically sampled into a second ring for
+// baseline context.
+//
+// The observe path is lock-light: classification (slow? error? sample?)
+// is pure arithmetic on the finished record, the sampling decision is
+// one atomic counter increment plus a hash (deterministic in the seed,
+// so tests can pin exactly which requests are kept), and only records
+// that are actually retained take a ring mutex — for a copy into a
+// pre-allocated slot. At a 1% sample rate, 99% of fast traffic leaves
+// the recorder having touched one atomic add.
+
+// RecordKind classifies why a record was retained.
+type RecordKind string
+
+const (
+	// KindSlow marks a request at or over the slow threshold.
+	KindSlow RecordKind = "slow"
+	// KindError marks a non-2xx/3xx response or a middleware rejection.
+	KindError RecordKind = "error"
+	// KindSampled marks an ordinary fast request kept by the sampler.
+	KindSampled RecordKind = "sampled"
+)
+
+// RequestRecord is one completed request as the flight recorder keeps
+// it: identity, outcome, and the full stage breakdown of its trace.
+type RequestRecord struct {
+	// ID is the request's X-Request-ID.
+	ID string
+	// Method and Path identify the call; Path is the raw request path.
+	Method string
+	Path   string
+	// Status is the HTTP status written; Reason the machine-readable
+	// rejection token, when the middleware or a handler set one.
+	Status int
+	Reason string
+	// Client is the hashed API key ("anonymous" when none).
+	Client string
+	// Start is when the request began; Duration how long it took.
+	Start    time.Time
+	Duration time.Duration
+	// Bytes is the response body size.
+	Bytes int64
+	// Stages is the request's stage-span breakdown (engine, blocking,
+	// scoring, learn, publish, ...) in completion order.
+	Stages []Stage
+	// Kind is set by the recorder: why this record was retained.
+	Kind RecordKind
+	// seq orders records globally (ring position alone can't, across two
+	// rings).
+	seq uint64
+}
+
+// RecorderOptions configures a FlightRecorder. The zero value is usable:
+// modest ring capacities, a 250ms slow threshold, and no fast-request
+// sampling (slow and error records are still always kept).
+type RecorderOptions struct {
+	// Capacity bounds the sampled ring (fast requests kept by the
+	// sampler); 0 means 512.
+	Capacity int
+	// SlowCapacity bounds the always-kept slow/error ring; 0 means 128.
+	SlowCapacity int
+	// SlowThreshold is the duration at or above which a request is
+	// retained unconditionally; 0 means 250ms.
+	SlowThreshold time.Duration
+	// SampleRate is the probability in [0, 1] that a fast, successful
+	// request is kept in the sampled ring. 0 keeps none.
+	SampleRate float64
+	// Seed parameterizes the deterministic sampler; 0 means 1. Two
+	// recorders with the same seed and the same observation sequence
+	// keep exactly the same records.
+	Seed uint64
+}
+
+func (o RecorderOptions) withDefaults() RecorderOptions {
+	if o.Capacity <= 0 {
+		o.Capacity = 512
+	}
+	if o.SlowCapacity <= 0 {
+		o.SlowCapacity = 128
+	}
+	if o.SlowThreshold <= 0 {
+		o.SlowThreshold = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// RecorderStats counts what the recorder has seen and kept.
+type RecorderStats struct {
+	Seen        uint64 `json:"seen"`
+	KeptSlow    uint64 `json:"kept_slow"`
+	KeptError   uint64 `json:"kept_error"`
+	KeptSampled uint64 `json:"kept_sampled"`
+}
+
+// FlightRecorder retains completed request records with tail-based
+// retention. Safe for concurrent use; a nil recorder is a no-op.
+type FlightRecorder struct {
+	opts RecorderOptions
+	// cut is the precomputed 53-bit sampling threshold: keep when the
+	// top 53 bits of the hash fall below it.
+	cut uint64
+
+	seen        atomic.Uint64
+	keptSlow    atomic.Uint64
+	keptError   atomic.Uint64
+	keptSampled atomic.Uint64
+	ctr         atomic.Uint64 // sampling sequence
+	seq         atomic.Uint64 // global record order
+
+	sampled ring
+	slow    ring
+}
+
+// ring is one fixed-capacity record buffer. next wraps; recs grows to
+// capacity once and is overwritten in place afterwards.
+type ring struct {
+	mu   sync.Mutex
+	recs []RequestRecord
+	next int
+	cap  int
+}
+
+func (r *ring) put(rec RequestRecord) {
+	r.mu.Lock()
+	if len(r.recs) < r.cap {
+		r.recs = append(r.recs, rec)
+	} else {
+		r.recs[r.next] = rec
+	}
+	r.next = (r.next + 1) % r.cap
+	r.mu.Unlock()
+}
+
+func (r *ring) snapshot() []RequestRecord {
+	r.mu.Lock()
+	out := append([]RequestRecord(nil), r.recs...)
+	r.mu.Unlock()
+	return out
+}
+
+// NewFlightRecorder builds a recorder; zero options get defaults.
+func NewFlightRecorder(opts RecorderOptions) *FlightRecorder {
+	opts = opts.withDefaults()
+	fr := &FlightRecorder{opts: opts}
+	fr.sampled.cap = opts.Capacity
+	fr.slow.cap = opts.SlowCapacity
+	if opts.SampleRate > 0 {
+		rate := opts.SampleRate
+		if rate > 1 {
+			rate = 1
+		}
+		fr.cut = uint64(rate * (1 << 53))
+	}
+	return fr
+}
+
+// SlowThreshold returns the effective slow-retention threshold.
+func (fr *FlightRecorder) SlowThreshold() time.Duration {
+	if fr == nil {
+		return 0
+	}
+	return fr.opts.SlowThreshold
+}
+
+// Options returns the effective (defaulted) configuration.
+func (fr *FlightRecorder) Options() RecorderOptions {
+	if fr == nil {
+		return RecorderOptions{}
+	}
+	return fr.opts
+}
+
+// Observe classifies and possibly retains one completed request. Slow
+// and error records always land in the slow/error ring; fast successes
+// pass the deterministic sampler or are dropped without taking a lock.
+func (fr *FlightRecorder) Observe(rec RequestRecord) {
+	if fr == nil {
+		return
+	}
+	fr.seen.Add(1)
+	switch {
+	case rec.Status >= 400 || rec.Reason != "":
+		rec.Kind = KindError
+		rec.seq = fr.seq.Add(1)
+		fr.keptError.Add(1)
+		fr.slow.put(rec)
+	case rec.Duration >= fr.opts.SlowThreshold:
+		rec.Kind = KindSlow
+		rec.seq = fr.seq.Add(1)
+		fr.keptSlow.Add(1)
+		fr.slow.put(rec)
+	default:
+		if !fr.sample() {
+			return
+		}
+		rec.Kind = KindSampled
+		rec.seq = fr.seq.Add(1)
+		fr.keptSampled.Add(1)
+		fr.sampled.put(rec)
+	}
+}
+
+// sample decides whether to keep an ordinary fast request: a splitmix64
+// hash of an atomic sequence number against the precomputed threshold.
+// Deterministic in (seed, observation order) and lock-free.
+func (fr *FlightRecorder) sample() bool {
+	if fr.cut == 0 {
+		return false
+	}
+	h := splitmix64(fr.ctr.Add(1) + fr.opts.Seed*0x9e3779b97f4a7c15)
+	return h>>11 < fr.cut
+}
+
+// splitmix64 is the SplitMix64 finalizer: a fast, well-distributed
+// 64-bit mix used as a counter-based hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stats returns the retention counters.
+func (fr *FlightRecorder) Stats() RecorderStats {
+	if fr == nil {
+		return RecorderStats{}
+	}
+	return RecorderStats{
+		Seen:        fr.seen.Load(),
+		KeptSlow:    fr.keptSlow.Load(),
+		KeptError:   fr.keptError.Load(),
+		KeptSampled: fr.keptSampled.Load(),
+	}
+}
+
+// RecordFilter narrows a Snapshot. Zero fields match everything.
+type RecordFilter struct {
+	// MinDuration keeps records at or above the given duration.
+	MinDuration time.Duration
+	// Status keeps an exact status code ("404"), a status class ("4xx",
+	// "5xx"), or "error" (any retained error/rejection). Empty keeps all.
+	Status string
+	// Path keeps an exact request path.
+	Path string
+	// N caps the result count (newest first); 0 means 100.
+	N int
+}
+
+// matchStatus applies the Status filter term to one record.
+func (f RecordFilter) matchStatus(rec RequestRecord) bool {
+	switch f.Status {
+	case "":
+		return true
+	case "error":
+		return rec.Kind == KindError
+	}
+	if len(f.Status) == 3 && strings.HasSuffix(f.Status, "xx") {
+		return rec.Status/100 == int(f.Status[0]-'0')
+	}
+	code, err := strconv.Atoi(f.Status)
+	return err == nil && rec.Status == code
+}
+
+// Snapshot returns the retained records matching the filter, newest
+// first, capped at f.N. The returned records are copies; Stages slices
+// are shared but never mutated after retention.
+func (fr *FlightRecorder) Snapshot(f RecordFilter) []RequestRecord {
+	if fr == nil {
+		return nil
+	}
+	if f.N <= 0 {
+		f.N = 100
+	}
+	all := append(fr.slow.snapshot(), fr.sampled.snapshot()...)
+	out := all[:0]
+	for _, rec := range all {
+		if rec.Duration < f.MinDuration {
+			continue
+		}
+		if f.Path != "" && rec.Path != f.Path {
+			continue
+		}
+		if !f.matchStatus(rec) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	if len(out) > f.N {
+		out = out[:f.N]
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fastRec(i int) RequestRecord {
+	return RequestRecord{
+		ID:       fmt.Sprintf("fast-%d", i),
+		Method:   "GET",
+		Path:     "/healthz",
+		Status:   200,
+		Duration: time.Millisecond,
+	}
+}
+
+// TestRecorderTailRetention is the core property: slow and error records
+// survive a flood of fast requests far exceeding the sampled ring's
+// capacity, and neither ring exceeds its bound.
+func TestRecorderTailRetention(t *testing.T) {
+	fr := NewFlightRecorder(RecorderOptions{
+		Capacity:      64,
+		SlowCapacity:  16,
+		SlowThreshold: 50 * time.Millisecond,
+		SampleRate:    1, // keep every fast request, to stress eviction
+	})
+
+	slow := RequestRecord{
+		ID:       "slow-1",
+		Method:   "POST",
+		Path:     "/v1/link",
+		Status:   200,
+		Duration: 120 * time.Millisecond,
+		Stages: []Stage{
+			{Name: "engine", Duration: 100 * time.Millisecond},
+			{Name: "blocking", Duration: 40 * time.Millisecond},
+		},
+	}
+	errRec := RequestRecord{
+		ID:     "err-1",
+		Method: "POST",
+		Path:   "/v1/learn",
+		Status: 429,
+		Reason: "overloaded",
+	}
+	fr.Observe(slow)
+	fr.Observe(errRec)
+
+	for i := 0; i < 10000; i++ {
+		fr.Observe(fastRec(i))
+	}
+
+	got := fr.Snapshot(RecordFilter{MinDuration: 50 * time.Millisecond, N: 1000})
+	if len(got) != 1 || got[0].ID != "slow-1" {
+		t.Fatalf("slow record did not survive flood: %+v", got)
+	}
+	if got[0].Kind != KindSlow {
+		t.Fatalf("Kind = %q, want slow", got[0].Kind)
+	}
+	if len(got[0].Stages) != 2 || got[0].Stages[0].Name != "engine" {
+		t.Fatalf("stage breakdown lost: %+v", got[0].Stages)
+	}
+
+	errs := fr.Snapshot(RecordFilter{Status: "error", N: 1000})
+	if len(errs) != 1 || errs[0].ID != "err-1" || errs[0].Reason != "overloaded" {
+		t.Fatalf("error record did not survive flood: %+v", errs)
+	}
+
+	all := fr.Snapshot(RecordFilter{N: 100000})
+	if len(all) > 64+16 {
+		t.Fatalf("rings exceed bounds: %d records retained", len(all))
+	}
+
+	st := fr.Stats()
+	if st.Seen != 10002 || st.KeptSlow != 1 || st.KeptError != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.KeptSampled != 10000 {
+		t.Fatalf("sample rate 1 should keep all fast: %+v", st)
+	}
+}
+
+// TestRecorderSamplingDeterminism: same seed + same observation order
+// means the exact same records are kept; a different seed picks a
+// different subset; the empirical rate lands near the configured one.
+func TestRecorderSamplingDeterminism(t *testing.T) {
+	const n = 20000
+	run := func(seed uint64) []string {
+		fr := NewFlightRecorder(RecorderOptions{
+			Capacity:   n,
+			SampleRate: 0.1,
+			Seed:       seed,
+		})
+		for i := 0; i < n; i++ {
+			fr.Observe(fastRec(i))
+		}
+		recs := fr.Snapshot(RecordFilter{N: n})
+		ids := make([]string, len(recs))
+		for i, r := range recs {
+			ids[i] = r.ID
+		}
+		return ids
+	}
+
+	a, b := run(7), run(7)
+	if len(a) != len(b) {
+		t.Fatalf("same seed kept different counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+
+	if got := float64(len(a)) / n; got < 0.05 || got > 0.2 {
+		t.Fatalf("empirical sample rate %.3f far from 0.1", got)
+	}
+
+	c := run(8)
+	same := 0
+	min := len(a)
+	if len(c) < min {
+		min = len(c)
+	}
+	for i := 0; i < min; i++ {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if min > 0 && same == min {
+		t.Fatalf("different seeds kept identical subsets (%d records)", min)
+	}
+}
+
+func TestRecorderZeroSampleRateKeepsOutliersOnly(t *testing.T) {
+	fr := NewFlightRecorder(RecorderOptions{SlowThreshold: 10 * time.Millisecond})
+	for i := 0; i < 1000; i++ {
+		fr.Observe(fastRec(i))
+	}
+	fr.Observe(RequestRecord{ID: "s", Path: "/v1/link", Status: 200, Duration: 20 * time.Millisecond})
+	if got := fr.Snapshot(RecordFilter{}); len(got) != 1 || got[0].ID != "s" {
+		t.Fatalf("want only the slow record, got %+v", got)
+	}
+	if st := fr.Stats(); st.KeptSampled != 0 || st.Seen != 1001 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecorderFilters(t *testing.T) {
+	fr := NewFlightRecorder(RecorderOptions{SlowThreshold: time.Millisecond})
+	fr.Observe(RequestRecord{ID: "a", Path: "/v1/link", Status: 200, Duration: 5 * time.Millisecond})
+	fr.Observe(RequestRecord{ID: "b", Path: "/v1/link", Status: 404, Duration: 2 * time.Millisecond})
+	fr.Observe(RequestRecord{ID: "c", Path: "/v1/learn", Status: 503, Duration: 8 * time.Millisecond})
+
+	cases := []struct {
+		f    RecordFilter
+		want []string // newest first
+	}{
+		{RecordFilter{}, []string{"c", "b", "a"}},
+		{RecordFilter{Path: "/v1/link"}, []string{"b", "a"}},
+		{RecordFilter{Status: "404"}, []string{"b"}},
+		{RecordFilter{Status: "4xx"}, []string{"b"}},
+		{RecordFilter{Status: "5xx"}, []string{"c"}},
+		{RecordFilter{Status: "error"}, []string{"c", "b"}},
+		{RecordFilter{MinDuration: 4 * time.Millisecond}, []string{"c", "a"}},
+		{RecordFilter{N: 2}, []string{"c", "b"}},
+	}
+	for _, tc := range cases {
+		got := fr.Snapshot(tc.f)
+		if len(got) != len(tc.want) {
+			t.Fatalf("filter %+v: got %d records, want %v", tc.f, len(got), tc.want)
+		}
+		for i, w := range tc.want {
+			if got[i].ID != w {
+				t.Fatalf("filter %+v: [%d] = %q, want %q", tc.f, i, got[i].ID, w)
+			}
+		}
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var fr *FlightRecorder
+	fr.Observe(fastRec(0))
+	if got := fr.Snapshot(RecordFilter{}); got != nil {
+		t.Fatalf("nil recorder snapshot = %v", got)
+	}
+	if st := fr.Stats(); st.Seen != 0 {
+		t.Fatalf("nil recorder stats = %+v", st)
+	}
+	if fr.SlowThreshold() != 0 {
+		t.Fatal("nil recorder threshold")
+	}
+}
+
+// TestRecorderConcurrent exercises concurrent observers and snapshot
+// readers under -race.
+func TestRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(RecorderOptions{
+		Capacity:      32,
+		SlowCapacity:  8,
+		SlowThreshold: 10 * time.Millisecond,
+		SampleRate:    0.5,
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				rec := fastRec(w*10000 + i)
+				if i%100 == 0 {
+					rec.Duration = 20 * time.Millisecond
+				}
+				if i%250 == 0 {
+					rec.Status = 500
+				}
+				fr.Observe(rec)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				fr.Snapshot(RecordFilter{N: 50})
+				fr.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := fr.Stats(); st.Seen != 8000 {
+		t.Fatalf("seen = %d, want 8000", st.Seen)
+	}
+	if got := fr.Snapshot(RecordFilter{N: 100000}); len(got) > 40 {
+		t.Fatalf("rings exceed bounds: %d", len(got))
+	}
+}
+
+func BenchmarkRecorderObserveFast(b *testing.B) {
+	fr := NewFlightRecorder(RecorderOptions{SampleRate: 0.01})
+	rec := fastRec(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Observe(rec)
+	}
+}

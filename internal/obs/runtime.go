@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"time"
+)
+
+// Runtime telemetry: Go process health exported through the registry's
+// Func collectors, sourced from runtime/metrics at scrape time only —
+// zero cost between scrapes. Scalar series use GaugeFunc/CounterFunc;
+// the pre-bucketed runtime histograms (GC pauses, scheduler latency)
+// go through HistogramFunc so their native resolution survives instead
+// of being squashed into a fixed layout.
+
+// runtimeSamples is the fixed sample set read on every scrape-time
+// callback. Reading all of them in one metrics.Read call is cheap
+// (runtime/metrics is designed for it) and keeps related series
+// consistent within a single callback.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/heap/unused:bytes",
+	"/memory/classes/heap/released:bytes",
+	"/memory/classes/total:bytes",
+	"/sched/pauses/total/gc:seconds",
+	"/sched/latencies:seconds",
+}
+
+// readRuntime samples every runtime series fresh and returns them by
+// name. Unsupported names come back as KindBad and read as zero.
+func readRuntime() map[string]metrics.Value {
+	samples := make([]metrics.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	metrics.Read(samples)
+	out := make(map[string]metrics.Value, len(samples))
+	for _, s := range samples {
+		out[s.Name] = s.Value
+	}
+	return out
+}
+
+// uint64Of extracts a KindUint64 value, zero for anything else.
+func uint64Of(v metrics.Value) float64 {
+	if v.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return float64(v.Uint64())
+}
+
+// histOf converts a runtime/metrics Float64Histogram into a cumulative
+// HistogramSnapshot. Counts[i] covers (Buckets[i], Buckets[i+1]]; the
+// exported upper bounds are Buckets[1:], so a leading -Inf boundary
+// folds into the first finite bucket. The sum is estimated from bucket
+// midpoints (infinite bounds clamp to their finite neighbor) — good
+// enough for rate(sum)/rate(count) dashboards, exact for quantiles.
+func histOf(v metrics.Value) HistogramSnapshot {
+	if v.Kind() != metrics.KindFloat64Histogram {
+		return HistogramSnapshot{}
+	}
+	h := v.Float64Histogram()
+	if h == nil || len(h.Buckets) < 2 {
+		return HistogramSnapshot{}
+	}
+	var snap HistogramSnapshot
+	snap.Buckets = make([]HistogramBucket, 0, len(h.Counts))
+	cum := uint64(0)
+	for i, c := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		cum += c
+		snap.Count += c
+		if c > 0 {
+			mid := (lo + hi) / 2
+			switch {
+			case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+				mid = 0
+			case math.IsInf(lo, -1):
+				mid = hi
+			case math.IsInf(hi, 1):
+				mid = lo
+			}
+			snap.Sum += mid * float64(c)
+		}
+		snap.Buckets = append(snap.Buckets, HistogramBucket{Upper: hi, Count: cum})
+	}
+	return snap
+}
+
+// RegisterRuntime installs the Go process health series on reg, all
+// prefixed go_. The process start time is captured at registration —
+// for a service that registers during construction this matches process
+// start to within milliseconds, without reaching into /proc.
+func RegisterRuntime(reg *Registry) {
+	start := float64(time.Now().UnixNano()) / 1e9
+	reg.GaugeFunc("go_process_start_time_seconds",
+		"Unix time the process (strictly: its metrics registry) started.",
+		func() float64 { return start })
+	reg.GaugeFunc("go_gomaxprocs",
+		"Value of GOMAXPROCS: OS threads executing Go code simultaneously.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("go_goroutines",
+		"Current number of live goroutines.",
+		func() float64 { return uint64Of(readRuntime()["/sched/goroutines:goroutines"]) })
+	reg.GaugeFunc("go_heap_inuse_bytes",
+		"Heap memory occupied by live objects plus unused spans.",
+		func() float64 {
+			v := readRuntime()
+			return uint64Of(v["/memory/classes/heap/objects:bytes"]) + uint64Of(v["/memory/classes/heap/unused:bytes"])
+		})
+	reg.GaugeFunc("go_heap_released_bytes",
+		"Heap memory returned to the operating system.",
+		func() float64 { return uint64Of(readRuntime()["/memory/classes/heap/released:bytes"]) })
+	reg.GaugeFunc("go_memory_total_bytes",
+		"Total memory mapped by the Go runtime.",
+		func() float64 { return uint64Of(readRuntime()["/memory/classes/total:bytes"]) })
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed garbage collection cycles.",
+		func() float64 { return uint64Of(readRuntime()["/gc/cycles/total:gc-cycles"]) })
+	reg.HistogramFunc("go_gc_pause_seconds",
+		"Distribution of individual GC-related stop-the-world pause latencies.",
+		func() HistogramSnapshot { return histOf(readRuntime()["/sched/pauses/total/gc:seconds"]) })
+	reg.HistogramFunc("go_sched_latency_seconds",
+		"Distribution of goroutine scheduling latency: time from runnable to running.",
+		func() HistogramSnapshot { return histOf(readRuntime()["/sched/latencies:seconds"]) })
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// GET /debug/requests: the flight recorder's query endpoint. Returns
+// the retained request records (newest first) with their stage-level
+// trace breakdowns, plus the recorder's configuration and retention
+// counters. Mounted only with Options.DebugRequests, inside the
+// resilience wrap — auth, rate limiting and admission control gate it
+// exactly like pprof.
+//
+// Filters (query parameters):
+//
+//	min_ms=N   keep records that took at least N milliseconds
+//	status=S   exact code ("404"), class ("4xx", "5xx"), or "error"
+//	path=P     exact request path
+//	n=N        cap the result count (default 100)
+
+// debugRequestJSON is the wire form of one retained request record.
+type debugRequestJSON struct {
+	ID         string      `json:"id"`
+	Method     string      `json:"method"`
+	Path       string      `json:"path"`
+	Status     int         `json:"status"`
+	Reason     string      `json:"reason,omitempty"`
+	Client     string      `json:"client"`
+	Start      time.Time   `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Bytes      int64       `json:"bytes"`
+	Kind       string      `json:"kind"`
+	Stages     []stageJSON `json:"stages,omitempty"`
+}
+
+// debugConfigJSON reports the recorder's effective configuration.
+type debugConfigJSON struct {
+	Capacity     int     `json:"capacity"`
+	SlowCapacity int     `json:"slow_capacity"`
+	SlowMS       float64 `json:"slow_ms"`
+	SampleRate   float64 `json:"sample_rate"`
+}
+
+type debugRequestsResponse struct {
+	Config   debugConfigJSON    `json:"config"`
+	Stats    obs.RecorderStats  `json:"stats"`
+	Requests []debugRequestJSON `json:"requests"`
+}
+
+func (s *Service) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var f obs.RecordFilter
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, "min_ms must be a non-negative number, got %q", v)
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if v := q.Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeErr(w, http.StatusBadRequest, "n must be a positive integer, got %q", v)
+			return
+		}
+		f.N = n
+	}
+	f.Status = q.Get("status")
+	f.Path = q.Get("path")
+
+	opts := s.flight.Options()
+	resp := debugRequestsResponse{
+		Config: debugConfigJSON{
+			Capacity:     opts.Capacity,
+			SlowCapacity: opts.SlowCapacity,
+			SlowMS:       float64(opts.SlowThreshold) / float64(time.Millisecond),
+			SampleRate:   opts.SampleRate,
+		},
+		Stats:    s.flight.Stats(),
+		Requests: []debugRequestJSON{},
+	}
+	for _, rec := range s.flight.Snapshot(f) {
+		out := debugRequestJSON{
+			ID:         rec.ID,
+			Method:     rec.Method,
+			Path:       rec.Path,
+			Status:     rec.Status,
+			Reason:     rec.Reason,
+			Client:     rec.Client,
+			Start:      rec.Start,
+			DurationMS: float64(rec.Duration) / float64(time.Millisecond),
+			Bytes:      rec.Bytes,
+			Kind:       string(rec.Kind),
+		}
+		for _, st := range rec.Stages {
+			out.Stages = append(out.Stages, stageJSON{Stage: st.Name, Seconds: st.Duration.Seconds()})
+		}
+		resp.Requests = append(resp.Requests, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

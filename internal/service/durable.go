@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -68,9 +69,9 @@ func Restore(st *store.Store, rec *store.Recovery, seed *Seed, opts Options) (*S
 		if len(seed.Training) > 0 {
 			s.mu.Lock()
 			s.links = append([]datalink.Link(nil), seed.Training...)
-			err := s.learnLocked()
+			err := s.learnLocked(context.Background())
 			if err == nil {
-				s.publishLocked()
+				s.publishLocked(context.Background())
 			}
 			s.mu.Unlock()
 			if err != nil {
@@ -133,7 +134,7 @@ func Restore(st *store.Store, rec *store.Recovery, seed *Seed, opts Options) (*S
 		if snap.LearnLinks != nil {
 			b.links = linksFromRefs(snap.LearnLinks)
 		}
-		if err := s.learnBasisLocked(b); err != nil {
+		if err := s.learnBasisLocked(context.Background(), b); err != nil {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("service: relearning recovered model: %w", err)
 		}
@@ -143,12 +144,12 @@ func Restore(st *store.Store, rec *store.Recovery, seed *Seed, opts Options) (*S
 		// failed identically before the crash (learning is deterministic
 		// in the corpus and links), so the error is part of the history,
 		// not a recovery problem.
-		if _, err := s.applyLocked(r); err != nil && r.Op != store.OpLearn {
+		if _, err := s.applyLocked(context.Background(), r); err != nil && r.Op != store.OpLearn {
 			s.mu.Unlock()
 			return nil, fmt.Errorf("service: replaying WAL record %d: %w", r.Seq, err)
 		}
 	}
-	s.publishLocked()
+	s.publishLocked(context.Background())
 	s.mu.Unlock()
 	if len(rec.Tail) > 0 || rec.TornTail {
 		// Fold the replayed tail into a fresh snapshot so the next boot
@@ -198,7 +199,7 @@ type applyResult struct {
 // due. A WAL append failure aborts the mutation before any state
 // changes; an apply failure (only learning can fail) leaves the previous
 // state published, which replay reproduces exactly.
-func (s *Service) commit(rec *store.Record) (applyResult, error) {
+func (s *Service) commit(ctx context.Context, rec *store.Record) (applyResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.checkDegradedLocked(); err != nil {
@@ -212,11 +213,11 @@ func (s *Service) commit(rec *store.Record) (applyResult, error) {
 			return applyResult{}, fmt.Errorf("%w: %v", errPersist, err)
 		}
 	}
-	res, err := s.applyLocked(rec)
+	res, err := s.applyLocked(ctx, rec)
 	if err != nil {
 		return res, err
 	}
-	s.publishLocked()
+	s.publishLocked(ctx)
 	s.maybeCheckpointLocked()
 	return res, nil
 }
@@ -224,14 +225,14 @@ func (s *Service) commit(rec *store.Record) (applyResult, error) {
 // applyLocked dispatches one mutation record to its applier. It is the
 // shared path of live commits and recovery replay; callers hold the
 // write lock.
-func (s *Service) applyLocked(rec *store.Record) (applyResult, error) {
+func (s *Service) applyLocked(ctx context.Context, rec *store.Record) (applyResult, error) {
 	switch rec.Op {
 	case store.OpUpsert:
 		return s.applyUpsertLocked(rec.Upsert), nil
 	case store.OpRemove:
 		return s.applyRemoveLocked(rec.Remove), nil
 	case store.OpLearn:
-		return s.applyLearnLocked(rec.Learn)
+		return s.applyLearnLocked(ctx, rec.Learn)
 	default:
 		return applyResult{}, fmt.Errorf("service: unknown mutation op %d", rec.Op)
 	}
@@ -289,7 +290,7 @@ func (s *Service) applyRemoveLocked(op *store.RemoveOp) applyResult {
 // relearns. On failure the previous links and model stay in place — the
 // same record replayed after a crash fails the same way, so live and
 // recovered state agree either way.
-func (s *Service) applyLearnLocked(op *store.LearnOp) (applyResult, error) {
+func (s *Service) applyLearnLocked(ctx context.Context, op *store.LearnOp) (applyResult, error) {
 	links := linksFromRefs(op.Links)
 	prev := s.links
 	if op.Replace {
@@ -297,7 +298,7 @@ func (s *Service) applyLearnLocked(op *store.LearnOp) (applyResult, error) {
 	} else {
 		s.links = append(append([]datalink.Link(nil), s.links...), links...)
 	}
-	if err := s.learnLocked(); err != nil {
+	if err := s.learnLocked(ctx); err != nil {
 		s.links = prev
 		return applyResult{}, err
 	}

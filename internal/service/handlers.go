@@ -41,8 +41,13 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 // writeErrReason writes the error envelope with a machine-readable
-// reason token.
+// reason token. The token is also recorded on the response writer (when
+// it is the middleware's statusWriter), so the flight recorder keeps
+// rejections with their reason attached.
 func writeErrReason(w http.ResponseWriter, code int, reason, format string, args ...any) {
+	if rw, ok := w.(interface{ setReason(string) }); ok {
+		rw.setReason(reason)
+	}
 	writeJSON(w, code, errorBody{
 		Error:     fmt.Sprintf(format, args...),
 		Reason:    reason,
@@ -219,7 +224,7 @@ func (s *Service) handleUpsert(w http.ResponseWriter, r *http.Request) {
 		}
 		items = append(items, store.Item{ID: it.ID, Props: it.Properties, Classes: it.Classes})
 	}
-	res, err := s.commit(&store.Record{
+	res, err := s.commit(r.Context(), &store.Record{
 		Op:     store.OpUpsert,
 		Upsert: &store.UpsertOp{Side: sideToStore(side), Items: items},
 	})
@@ -258,7 +263,7 @@ func (s *Service) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "no ids given")
 		return
 	}
-	res, err := s.commit(&store.Record{
+	res, err := s.commit(r.Context(), &store.Record{
 		Op:     store.OpRemove,
 		Remove: &store.RemoveOp{Side: sideToStore(side), IDs: req.IDs},
 	})
@@ -307,6 +312,10 @@ type learnResponse struct {
 	TrainingLinks int `json:"training_links"`
 	Rules         int `json:"rules"`
 	Segments      int `json:"segments"`
+	// Timings is the per-stage breakdown of this learn (learn, publish),
+	// present only when the client asked for ?debug=timings — parity
+	// with /v1/link.
+	Timings []stageJSON `json:"timings,omitempty"`
 }
 
 func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
@@ -325,7 +334,16 @@ func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
 			Local:    datalink.NewIRI(l.Local),
 		}))
 	}
-	res, err := s.commit(&store.Record{
+	// The middleware attached a trace to the request context, so the
+	// learn and publish stages inside commit land in it (and in the
+	// flight recorder); reuse it for the opt-in client breakdown.
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace(s.met.stageSink())
+		ctx = obs.WithTrace(ctx, tr)
+	}
+	res, err := s.commit(ctx, &store.Record{
 		Op:    store.OpLearn,
 		Learn: &store.LearnOp{Replace: req.Replace, Links: refs},
 	})
@@ -333,11 +351,17 @@ func (s *Service) handleLearn(w http.ResponseWriter, r *http.Request) {
 		writeCommitErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, learnResponse{
+	resp := learnResponse{
 		TrainingLinks: res.links,
 		Rules:         res.rules,
 		Segments:      res.segments,
-	})
+	}
+	if r.URL.Query().Get("debug") == "timings" {
+		for _, st := range tr.Stages() {
+			resp.Timings = append(resp.Timings, stageJSON{Stage: st.Name, Seconds: st.Duration.Seconds()})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ruleJSON is the wire form of one learned rule.
@@ -453,9 +477,14 @@ func (s *Service) handleLink(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every link query carries a stage trace: its spans always feed the
 	// stage histograms, and with ?debug=timings the breakdown is also
-	// returned to the client.
-	tr := obs.NewTrace(s.met.stageSink())
-	ctx := obs.WithTrace(r.Context(), tr)
+	// returned to the client. The middleware attaches the trace; the
+	// fallback covers handlers driven without the resilience wrap.
+	ctx := r.Context()
+	tr := obs.TraceFrom(ctx)
+	if tr == nil {
+		tr = obs.NewTrace(s.met.stageSink())
+		ctx = obs.WithTrace(ctx, tr)
+	}
 	// The request context threads through the engine's worker pool: a
 	// dropped connection cancels in-flight scoring.
 	topk, err := qs.view.LinkTopK(ctx, items, cfg, req.TopK)

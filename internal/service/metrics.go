@@ -28,7 +28,7 @@ type serviceMetrics struct {
 }
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
-	return &serviceMetrics{
+	m := &serviceMetrics{
 		requests: reg.CounterVec("linkrules_http_requests_total",
 			"HTTP requests served, by normalized path and status code.", "path", "code"),
 		duration: reg.HistogramVec("linkrules_http_request_seconds",
@@ -47,6 +47,15 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"Pipeline stage durations (engine, blocking, scoring, learn, publish).",
 			obs.DefBuckets(), "stage"),
 	}
+	// Build identity as the conventional constant-1 info gauge, so every
+	// scrape (and every loadgen report that diffs scrapes) names the
+	// exact binary it measured.
+	bi := obs.Build()
+	reg.GaugeVec("linkrules_build_info",
+		"Build identity of the serving binary; value is always 1.",
+		"version", "go_version", "revision").
+		With(bi.Version, bi.GoVersion, bi.Revision).Set(1)
+	return m
 }
 
 // stageSink adapts the stage histogram to the obs.Trace sink signature,
@@ -71,6 +80,7 @@ var knownPaths = map[string]struct{}{
 	"/v1/rules":          {},
 	"/v1/link":           {},
 	"/v1/admin/snapshot": {},
+	"/debug/requests":    {},
 }
 
 func normalizePath(p string) string {
@@ -116,6 +126,22 @@ func hashKey(key string) string {
 	}
 	sum := sha256.Sum256([]byte(key))
 	return hex.EncodeToString(sum[:6])
+}
+
+// registerFlightMetrics exposes the flight recorder's retention
+// counters as scrape-time Func collectors reading the same atomics
+// /debug/requests reports. Called once, from New.
+func (s *Service) registerFlightMetrics() {
+	fr := s.flight
+	s.reg.CounterFunc("linkrules_flight_seen_total",
+		"Requests offered to the flight recorder.",
+		func() float64 { return float64(fr.Stats().Seen) })
+	s.reg.CounterFunc("linkrules_flight_kept_total",
+		"Requests retained by the flight recorder (slow + error + sampled).",
+		func() float64 {
+			st := fr.Stats()
+			return float64(st.KeptSlow + st.KeptError + st.KeptSampled)
+		})
 }
 
 // registerStoreMetrics exposes the durability store's point-in-time

@@ -97,6 +97,9 @@ type resilience struct {
 
 	met *serviceMetrics
 	log *slog.Logger // access log; nil disables
+	// flight receives every completed request for tail-based retention;
+	// nil-safe (Observe on a nil recorder is a no-op).
+	flight *obs.FlightRecorder
 
 	rejectedOverload *obs.Counter
 	rejectedRate     *obs.Counter
@@ -256,10 +259,15 @@ func (rz *resilience) wrap(next http.Handler) http.Handler {
 		}
 		w.Header().Set("X-Request-ID", reqID)
 		sw := &statusWriter{ResponseWriter: w}
+		// Every request carries a stage trace: pipeline spans feed the
+		// stage histograms through the sink, and the completed trace
+		// rides into the flight recorder with the request record.
+		tr := obs.NewTrace(rz.met.stageSink())
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 		// Registered before the recovery defer: LIFO runs it after
 		// recoverPanic has turned a panic into the 500 it records.
 		t0 := time.Now()
-		defer rz.record(sw, r, reqID, t0)
+		defer rz.record(sw, r, reqID, t0, tr)
 		defer rz.recoverPanic(sw)
 		if r.URL.Path == "/healthz" {
 			// The liveness probe bypasses every limit: an orchestrator
@@ -307,10 +315,11 @@ func (rz *resilience) wrap(next http.Handler) http.Handler {
 	})
 }
 
-// record lands one finished request in the endpoint metrics and, when
-// configured, the structured access log. Runs after panic recovery, so
-// recovered 500s are counted like any other response.
-func (rz *resilience) record(sw *statusWriter, r *http.Request, reqID string, t0 time.Time) {
+// record lands one finished request in the endpoint metrics, the flight
+// recorder and, when configured, the structured access log. Runs after
+// panic recovery, so recovered 500s are counted like any other
+// response.
+func (rz *resilience) record(sw *statusWriter, r *http.Request, reqID string, t0 time.Time, tr *obs.Trace) {
 	code := sw.status
 	if !sw.wrote {
 		code = http.StatusOK // a handler that wrote nothing: net/http sends 200
@@ -320,16 +329,43 @@ func (rz *resilience) record(sw *statusWriter, r *http.Request, reqID string, t0
 	rz.met.requests.With(path, strconv.Itoa(code)).Inc()
 	rz.met.duration.With(path).Observe(d.Seconds())
 	rz.met.respBytes.With(path).Observe(float64(sw.bytes))
+	client := hashKey(presentedKey(r))
+	stages := tr.Stages()
+	rz.flight.Observe(obs.RequestRecord{
+		ID:       reqID,
+		Method:   r.Method,
+		Path:     r.URL.Path,
+		Status:   code,
+		Reason:   sw.reason,
+		Client:   client,
+		Start:    t0,
+		Duration: d,
+		Bytes:    sw.bytes,
+		Stages:   stages,
+	})
 	if rz.log != nil {
-		rz.log.LogAttrs(context.Background(), slog.LevelInfo, "request",
+		level := slog.LevelInfo
+		msg := "request"
+		var extra []slog.Attr
+		if th := rz.flight.SlowThreshold(); th > 0 && d >= th {
+			// Slow requests get their own structured line — warning level,
+			// with the stage breakdown inlined, so "why was this slow" is
+			// answerable from the log alone.
+			level, msg = slog.LevelWarn, "slow request"
+			for _, st := range stages {
+				extra = append(extra, slog.Duration("stage_"+st.Name, st.Duration))
+			}
+		}
+		attrs := append([]slog.Attr{
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", code),
 			slog.Duration("duration", d),
 			slog.Int64("bytes", sw.bytes),
-			slog.String("client", hashKey(presentedKey(r))),
+			slog.String("client", client),
 			slog.String("request_id", reqID),
-		)
+		}, extra...)
+		rz.log.LogAttrs(context.Background(), level, msg, attrs...)
 	}
 }
 
@@ -361,7 +397,14 @@ type statusWriter struct {
 	wrote  bool
 	status int
 	bytes  int64
+	// reason is the machine-readable rejection token of the error
+	// envelope, captured by writeErrReason for the flight recorder.
+	reason string
 }
+
+// setReason records the rejection reason; writeErrReason finds it via
+// interface assertion so handlers need no direct statusWriter coupling.
+func (w *statusWriter) setReason(reason string) { w.reason = reason }
 
 func (w *statusWriter) WriteHeader(code int) {
 	if !w.wrote {

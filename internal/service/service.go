@@ -56,6 +56,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -97,6 +98,13 @@ type Options struct {
 	// resilience wrap — so auth, rate limiting and admission control
 	// gate the profiler exactly like any API endpoint.
 	EnablePprof bool
+	// Recorder configures the flight recorder every completed request is
+	// offered to (see obs.RecorderOptions); the zero value keeps slow and
+	// error records with default ring sizes and samples no fast traffic.
+	Recorder obs.RecorderOptions
+	// DebugRequests mounts GET /debug/requests — the flight recorder's
+	// query endpoint — inside the resilience wrap, gated like pprof.
+	DebugRequests bool
 }
 
 // Service is the shared state behind the HTTP API. Mutations (items,
@@ -146,6 +154,10 @@ type Service struct {
 	// (see metrics.go); always non-nil.
 	reg *obs.Registry
 	met *serviceMetrics
+
+	// flight retains recent request records with tail-based retention
+	// (slow and error requests always survive); always non-nil.
+	flight *obs.FlightRecorder
 }
 
 // queryState is one published point-in-time view: frozen copy-on-write
@@ -181,21 +193,43 @@ func New(se, sl *datalink.Graph, ol *datalink.Ontology, opts Options) *Service {
 		s.reg = obs.NewRegistry()
 	}
 	s.met = newServiceMetrics(s.reg)
+	s.flight = obs.NewFlightRecorder(opts.Recorder)
+	s.registerFlightMetrics()
+	obs.RegisterRuntime(s.reg)
 	s.res = newResilience(opts.Resilience, s.met, opts.AccessLog)
-	s.publishLocked()
+	s.res.flight = s.flight
+	s.publishLocked(context.Background())
 	return s
 }
+
+// Flight returns the service's flight recorder, for embedding callers
+// that want to query retained requests programmatically.
+func (s *Service) Flight() *obs.FlightRecorder { return s.flight }
 
 // Metrics returns the registry behind GET /metrics, for embedding
 // callers that scrape or extend it programmatically.
 func (s *Service) Metrics() *obs.Registry { return s.reg }
 
+// timeStage times one write-path stage. With a trace in the context the
+// stage becomes a span — landing in the request's trace, the flight
+// recorder AND (via the trace sink) the stage histogram; without one it
+// observes the histogram directly. Exactly one histogram observation
+// either way.
+func (s *Service) timeStage(ctx context.Context, name string) func() {
+	if obs.TraceFrom(ctx) != nil {
+		sp := obs.StartSpan(ctx, name)
+		return sp.End
+	}
+	t0 := time.Now()
+	return func() { s.met.stages.With(name).ObserveSince(t0) }
+}
+
 // publishLocked snapshots the live state into a fresh queryState and
 // swaps it in for queries. O(1): graph and instance-index snapshots are
 // copy-on-write, and unchanged graphs reuse their cached snapshot.
 // Callers must hold the write lock (or be the constructor).
-func (s *Service) publishLocked() {
-	t0 := time.Now()
+func (s *Service) publishLocked(ctx context.Context) {
+	done := s.timeStage(ctx, "publish")
 	qs := &queryState{
 		se:    s.se.Snapshot(),
 		sl:    s.sl.Snapshot(),
@@ -206,7 +240,7 @@ func (s *Service) publishLocked() {
 		qs.view = s.pipe.Snapshot()
 	}
 	s.state.Store(qs)
-	s.met.stages.With("publish").ObserveSince(t0)
+	done()
 }
 
 // LearnLinks appends labeled links and relearns the model — the
@@ -219,7 +253,7 @@ func (s *Service) LearnLinks(links []datalink.Link) error {
 	for _, l := range links {
 		refs = append(refs, refFromLink(l))
 	}
-	_, err := s.commit(&store.Record{Op: store.OpLearn, Learn: &store.LearnOp{Links: refs}})
+	_, err := s.commit(context.Background(), &store.Record{Op: store.OpLearn, Learn: &store.LearnOp{Links: refs}})
 	return err
 }
 
@@ -236,8 +270,8 @@ type learnBasis struct {
 // fresh pipeline, and warms its caches so queries against the next
 // published state never read live data. Callers must hold the write
 // lock and publish afterwards.
-func (s *Service) learnLocked() error {
-	return s.learnBasisLocked(&learnBasis{se: s.se.Snapshot(), sl: s.sl.Snapshot(), links: s.links})
+func (s *Service) learnLocked(ctx context.Context) error {
+	return s.learnBasisLocked(ctx, &learnBasis{se: s.se.Snapshot(), sl: s.sl.Snapshot(), links: s.links})
 }
 
 // learnBasisLocked learns the model from an explicit basis — the live
@@ -246,14 +280,14 @@ func (s *Service) learnLocked() error {
 // deterministic in the basis, so equal bases yield equal models. On
 // failure the previous model and basis stay in place. Callers must hold
 // the write lock.
-func (s *Service) learnBasisLocked(b *learnBasis) error {
-	t0 := time.Now()
+func (s *Service) learnBasisLocked(ctx context.Context, b *learnBasis) error {
+	done := s.timeStage(ctx, "learn")
 	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), b.links...)}
 	m, err := datalink.Learn(s.opts.Learner, ts, b.se, b.sl, s.ol)
 	if err != nil {
 		return err
 	}
-	s.met.stages.With("learn").ObserveSince(t0)
+	done()
 	s.pipe = datalink.NewPipelineWithModel(m, s.se, s.sl, s.ol)
 	s.basis = b
 	s.freezeInstancesLocked()
@@ -339,6 +373,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/link", s.handleLink)
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
 	mux.Handle("GET /metrics", s.reg)
+	if s.opts.DebugRequests {
+		// Like pprof: inside the resilience wrap, so auth and the other
+		// limits gate the flight recorder's query endpoint.
+		mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
+	}
 	if s.opts.EnablePprof {
 		// Registered inside the mux, so the resilience wrap outside it
 		// (auth, rate limiting, admission) gates the profiler; only

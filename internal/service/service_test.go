@@ -26,6 +26,13 @@ const (
 // matching external items, and an ontology with the two classes.
 func corpusService(t *testing.T) *Service {
 	t.Helper()
+	return corpusServiceOpts(t, nil)
+}
+
+// corpusServiceOpts is corpusService with an options hook, for tests
+// that need the same corpus behind different service configuration.
+func corpusServiceOpts(t *testing.T, mod func(*Options)) *Service {
+	t.Helper()
 	og := datalink.NewGraph()
 	for _, c := range []string{clsRes, clsCap} {
 		og.Add(datalink.T(datalink.NewIRI(c), datalink.RDFType, datalink.NewIRI("http://www.w3.org/2002/07/owl#Class")))
@@ -50,7 +57,7 @@ func corpusService(t *testing.T) *Service {
 		addExt(fmt.Sprintf("http://ex.org/e/r%d", i), fmt.Sprintf("RES-%04d-Z", i))
 		addExt(fmt.Sprintf("http://ex.org/e/c%d", i), fmt.Sprintf("CAP-%04d-W", i))
 	}
-	return New(se, sl, ol, Options{
+	opts := Options{
 		Learner: datalink.LearnerConfig{SupportThreshold: 0.01},
 		DefaultLinker: datalink.LinkerConfig{
 			Comparators: []datalink.Comparator{{
@@ -61,7 +68,11 @@ func corpusService(t *testing.T) *Service {
 			}},
 			Threshold: 0.5,
 		},
-	})
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	return New(se, sl, ol, opts)
 }
 
 // call sends a JSON request to the handler and decodes the response.
