@@ -28,6 +28,9 @@ import (
 //	learn   POST /v1/learn over the training links (wall seconds)
 //	link    repeated POST /v1/link queries (p50/p99 latency, qps)
 //	wal     append count/bytes/rate observed by the store instruments
+//	ingest  the same corpus loaded one item per request vs one
+//	        streaming bulk request, both at fsync=always (items/s
+//	        each, and the speedup)
 //
 // The store lives in a throwaway directory; -fsync picks the WAL
 // policy the mutation phases pay for. -smoke shrinks the corpus and
@@ -35,11 +38,12 @@ import (
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	cf := addCorpusFlags(fs)
-	out := fs.String("out", "BENCH_7.json", "report file (- writes to stdout)")
+	out := fs.String("out", "BENCH_9.json", "report file (- writes to stdout)")
 	smoke := fs.Bool("smoke", false, "tiny corpus and few iterations, for CI smoke runs")
 	queries := fs.Int("queries", 200, "timed link queries")
 	batch := fs.Int("batch", 64, "items per upsert request")
-	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy paid by the mutation phases: never, interval or always")
+	bulkBatch := fs.Int("bulk-batch", 1000, "items per batch commit in the ingest phase's bulk run")
+	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy paid by the upsert/learn phases: never, interval or always (the ingest comparison always runs durable)")
 	topK := fs.Int("top", 3, "matches requested per item in link queries")
 	if err := parse(fs, args); err != nil {
 		return err
@@ -62,8 +66,8 @@ func cmdBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *batch < 1 || *queries < 1 {
-		return fmt.Errorf("-batch and -queries must be positive")
+	if *batch < 1 || *queries < 1 || *bulkBatch < 1 {
+		return fmt.Errorf("-batch, -queries and -bulk-batch must be positive")
 	}
 
 	cfg, err := cf.config()
@@ -237,6 +241,20 @@ func cmdBench(args []string) error {
 	fmt.Fprintf(os.Stderr, "linkrules bench: wal %d appends, %d bytes (fsync %s): %.0f appends/s\n",
 		rep.WAL.Appends, rep.WAL.Bytes, rep.WAL.Fsync, rep.WAL.AppendsPerSec)
 
+	// Phase 5: ingest path comparison — the same corpus loaded one item
+	// per request vs one streaming bulk request, each into a fresh
+	// throwaway service, so the speedup of the batched mutation path is
+	// measured end to end. This phase always runs at fsync=always: the
+	// batched WAL record exists to amortize the per-commit fsync, so the
+	// durable policy is the configuration the comparison is about
+	// (per-item pays one fsync per item, bulk one per batch).
+	if rep.Ingest, err = benchIngestPhase(specs, store.FsyncAlways, *bulkBatch); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: ingest %d items: per-item %.0f items/s, bulk %.0f items/s (%d batches of %d) -> %.1fx\n",
+		rep.Ingest.Items, rep.Ingest.PerItemPerSec, rep.Ingest.BulkPerSec,
+		rep.Ingest.BulkBatches, rep.Ingest.BulkBatch, rep.Ingest.Speedup)
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -269,6 +287,7 @@ type benchReport struct {
 	Learn     benchLearn  `json:"learn"`
 	Link      benchLink   `json:"link"`
 	WAL       benchWAL    `json:"wal"`
+	Ingest    benchIngest `json:"ingest"`
 }
 
 type benchCorpus struct {
@@ -311,6 +330,118 @@ type benchWAL struct {
 	Seconds       float64 `json:"seconds"`
 	AppendsPerSec float64 `json:"appends_per_sec"`
 	MBPerSec      float64 `json:"mb_per_sec"`
+}
+
+type benchIngest struct {
+	Items          int     `json:"items"`
+	Fsync          string  `json:"fsync"`
+	PerItemSeconds float64 `json:"per_item_seconds"`
+	PerItemPerSec  float64 `json:"per_item_items_per_sec"`
+	BulkBatch      int     `json:"bulk_batch"`
+	BulkBatches    int     `json:"bulk_batches"`
+	BulkSeconds    float64 `json:"bulk_seconds"`
+	BulkPerSec     float64 `json:"bulk_items_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// benchIngestPhase loads the same items twice — one item per POST
+// /v1/items/upsert (the pre-batch choke point), then one streaming POST
+// /v1/items/bulk — each into a fresh service over its own throwaway
+// store, so WAL frames, fsyncs and snapshot publishes are attributed
+// cleanly to the path under test. All request bodies are rendered
+// before the clocks start.
+func benchIngestPhase(specs []benchItem, mode store.FsyncMode, bulkBatch int) (benchIngest, error) {
+	ing := benchIngest{Items: len(specs), Fsync: mode.String(), BulkBatch: bulkBatch}
+
+	perItemBodies := make([][]byte, len(specs))
+	for i, s := range specs {
+		body, err := json.Marshal(map[string]any{"side": "external", "items": []benchItem{s}})
+		if err != nil {
+			return ing, err
+		}
+		perItemBodies[i] = body
+	}
+	ndjson, err := ndjsonItems(specs)
+	if err != nil {
+		return ing, err
+	}
+
+	run := func(load func(h http.Handler) error) error {
+		dir, err := os.MkdirTemp("", "linkrules-bench-ingest-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		st, rec, err := store.Open(dir, store.Options{Fsync: mode, SnapshotEvery: -1})
+		if err != nil {
+			return err
+		}
+		ol, err := datalink.OntologyFromGraph(datalink.NewGraph())
+		if err != nil {
+			st.Close()
+			return err
+		}
+		seed := &service.Seed{External: datalink.NewGraph(), Local: datalink.NewGraph(), Ontology: ol}
+		svc, err := service.Restore(st, rec, seed, service.Options{})
+		if err != nil {
+			st.Close()
+			return err
+		}
+		defer svc.Close()
+		return load(svc.Handler())
+	}
+
+	if err := run(func(h http.Handler) error {
+		t0 := time.Now()
+		for i, body := range perItemBodies {
+			if _, err := call(h, "POST", "/v1/items/upsert", body); err != nil {
+				return fmt.Errorf("ingest per-item upsert %d: %w", i, err)
+			}
+		}
+		ing.PerItemSeconds = time.Since(t0).Seconds()
+		return nil
+	}); err != nil {
+		return ing, err
+	}
+	ing.PerItemPerSec = rate(float64(len(specs)), ing.PerItemSeconds)
+
+	if err := run(func(h http.Handler) error {
+		path := fmt.Sprintf("/v1/items/bulk?side=external&batch=%d", bulkBatch)
+		t0 := time.Now()
+		resp, err := call(h, "POST", path, ndjson)
+		if err != nil {
+			return fmt.Errorf("ingest bulk: %w", err)
+		}
+		ing.BulkSeconds = time.Since(t0).Seconds()
+		var rep service.BulkReport
+		if err := json.Unmarshal(resp, &rep); err != nil {
+			return fmt.Errorf("ingest bulk report: %w", err)
+		}
+		if rep.Errors > 0 || rep.Upserted != len(specs) {
+			return fmt.Errorf("ingest bulk applied %d/%d items with %d errors", rep.Upserted, len(specs), rep.Errors)
+		}
+		ing.BulkBatches = rep.Batches
+		return nil
+	}); err != nil {
+		return ing, err
+	}
+	ing.BulkPerSec = rate(float64(len(specs)), ing.BulkSeconds)
+	if ing.BulkSeconds > 0 {
+		ing.Speedup = ing.PerItemSeconds / ing.BulkSeconds
+	}
+	return ing, nil
+}
+
+// ndjsonItems renders specs as an NDJSON bulk body, one item per line.
+func ndjsonItems(specs []benchItem) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, s := range specs {
+		if err := enc.Encode(s); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
 }
 
 // benchItem mirrors the upsert wire format.

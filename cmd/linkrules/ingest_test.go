@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	datalink "repro"
+)
+
+// TestCLIIngestStore drives `linkrules ingest -store`: NDJSON with a bad
+// line lands with per-line error reporting, a second run reopens the
+// store and removes, and an N-Triples corpus file is auto-detected by
+// extension.
+func TestCLIIngestStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := t.TempDir()
+	storeDir := filepath.Join(dir, "store")
+
+	ndjson := filepath.Join(dir, "items.ndjson")
+	lines := []string{
+		`{"id":"http://ex.org/a","properties":{"http://ex.org/pn":["A-1"]}}`,
+		`{"id":"http://ex.org/b","properties":{"http://ex.org/pn":["B-2"]}}`,
+		`not json`,
+		`{"id":"http://ex.org/c","properties":{"http://ex.org/pn":["C-3"]}}`,
+	}
+	if err := os.WriteFile(ndjson, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "ingest", "-store", storeDir, "-file", ndjson)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ingest: %v\n%s", err, out)
+	}
+	for _, want := range []string{"3 upserted, 0 removed in 1 batches", "1 errors", "line 3"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("ingest output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The next run must recover the store's state before committing.
+	cmd = exec.Command(bin, "ingest", "-store", storeDir)
+	cmd.Stdin = strings.NewReader(`{"id":"http://ex.org/a","remove":true}` + "\n")
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ingest remove: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 upserted, 1 removed") {
+		t.Errorf("remove output:\n%s", out)
+	}
+
+	// N-Triples corpus file, format picked by the .nt extension.
+	corpus := filepath.Join(dir, "corpus")
+	run(t, bin, "datagen", "-scale", "small", "-seed", "3", "-out", corpus)
+	out3 := run(t, bin, "ingest", "-store", filepath.Join(dir, "store2"),
+		"-file", filepath.Join(corpus, "external.nt"), "-side", "external", "-bulk-batch", "200")
+	if !strings.Contains(out3, ", 0 errors") || strings.Contains(out3, " 0 upserted") {
+		t.Errorf("ntriples ingest output:\n%s", out3)
+	}
+}
+
+// TestCLIIngestServe streams NDJSON from stdin into a running server
+// through the bulk endpoint.
+func TestCLIIngestServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	srv := exec.Command(bin, "serve", "-scale", "small", "-seed", "7", "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = srv.Process.Kill()
+		_ = srv.Wait()
+	}()
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on http://"); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never printed its address: %v", sc.Err())
+	}
+
+	cmd := exec.Command(bin, "ingest", "-addr", addr, "-side", "external", "-bulk-batch", "1")
+	cmd.Stdin = strings.NewReader(strings.Join([]string{
+		`{"id":"http://provider.example/item/NEW1","properties":{"http://provider.example/prop#partNumber":["ZZ-NEW-1"]}}`,
+		`{"id":"http://provider.example/item/NEW2","properties":{"http://provider.example/prop#partNumber":["ZZ-NEW-2"]}}`,
+	}, "\n") + "\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("ingest -addr: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 upserted, 0 removed in 2 batches") {
+		t.Errorf("ingest output:\n%s", out)
+	}
+}
+
+// TestCLIClassifyCSV runs the batch linking workflow end to end: train
+// on the corpus, link, filter, and emit the CSV.
+func TestCLIClassifyCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	run(t, bin, "datagen", "-scale", "small", "-seed", "3", "-out", corpus)
+
+	csvPath := filepath.Join(dir, "links.csv")
+	run(t, bin, "classify", "-data", corpus, "-csv", csvPath,
+		"-threshold", "0.4", "-best", "-distinct")
+	f, err := os.Open(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("CSV has %d rows, want header plus links", len(rows))
+	}
+	if got := strings.Join(rows[0], ","); got != "external_id,local_id,confidence" {
+		t.Fatalf("CSV header %q", got)
+	}
+	seenE, seenL := map[string]bool{}, map[string]bool{}
+	for _, row := range rows[1:] {
+		if len(row) != 3 {
+			t.Fatalf("row %v has %d fields", row, len(row))
+		}
+		conf, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || conf < 0.4 {
+			t.Errorf("row %v: confidence %q below threshold", row, row[2])
+		}
+		if seenE[row[0]] || seenL[row[1]] {
+			t.Errorf("row %v violates -best/-distinct one-to-one", row)
+		}
+		seenE[row[0]], seenL[row[1]] = true, true
+	}
+}
+
+// TestCLIDatagenStream pins the CLI streaming contract: -stream writes
+// the same corpus as the materializing path, line order aside.
+func TestCLIDatagenStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	bin := binary(t)
+	dir := t.TempDir()
+	materialized := filepath.Join(dir, "mat")
+	streamed := filepath.Join(dir, "stream")
+	run(t, bin, "datagen", "-scale", "small", "-seed", "9", "-out", materialized)
+	out := run(t, bin, "datagen", "-scale", "small", "-seed", "9", "-out", streamed, "-stream")
+	if !strings.Contains(out, "streamed") {
+		t.Fatalf("stream output:\n%s", out)
+	}
+	for _, name := range []string{"ontology.nt", "local.nt", "external.nt", "training.nt"} {
+		mg, err := readGraph(filepath.Join(materialized, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sg, err := readGraph(filepath.Join(streamed, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if text(t, mg) != text(t, sg) {
+			t.Errorf("%s: streamed corpus diverged from materialized", name)
+		}
+	}
+}
+
+func text(t *testing.T, g *datalink.Graph) string {
+	t.Helper()
+	var b strings.Builder
+	if err := datalink.WriteNTriples(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}

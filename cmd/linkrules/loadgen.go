@@ -384,17 +384,16 @@ func warmTarget(target lgTarget, specs []benchItem, ds *datalink.Dataset) error 
 		return fmt.Errorf("target status: %v", err)
 	}
 	if status.ExternalTriples == 0 {
-		fmt.Fprintf(os.Stderr, "linkrules loadgen: target is empty, upserting %d items\n", len(specs))
-		const batch = 64
-		for i := 0; i < len(specs); i += batch {
-			end := min(i+batch, len(specs))
-			b, err := json.Marshal(map[string]any{"side": "external", "items": specs[i:end]})
-			if err != nil {
-				return err
-			}
-			if code, resp, err := target.do("POST", "/v1/items/upsert", b); err != nil || code != http.StatusOK {
-				return fmt.Errorf("warm upsert: %d %s %v", code, resp, err)
-			}
+		fmt.Fprintf(os.Stderr, "linkrules loadgen: target is empty, bulk-ingesting %d items\n", len(specs))
+		// One streaming bulk request; the server chunks it into batch
+		// commits itself. (NDJSON is the bulk endpoint's default format,
+		// so the target's application/json content type is fine.)
+		b, err := ndjsonItems(specs)
+		if err != nil {
+			return err
+		}
+		if code, resp, err := target.do("POST", "/v1/items/bulk?side=external", b); err != nil || code != http.StatusOK {
+			return fmt.Errorf("warm bulk ingest: %d %s %v", code, resp, err)
 		}
 	}
 	if !status.Learned {

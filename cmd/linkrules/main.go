@@ -21,7 +21,9 @@
 //	toponyms    secondary-domain demo (geographic labels)
 //	datagen     write a generated corpus to N-Triples files
 //	learn       learn rules from corpus files and save them
-//	classify    classify external items with saved rules
+//	classify    classify external items with saved rules, or run the
+//	            batch linking workflow (train → classify → CSV)
+//	ingest      stream a corpus file into a service via the bulk path
 //	serve       run the live linking service (HTTP/JSON)
 //	bench       run the service benchmark, emit a JSON report
 //	loadgen     drive a service with a mixed workload, check the SLO
@@ -30,11 +32,16 @@
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	datalink "repro"
@@ -88,6 +95,8 @@ func main() {
 		err = cmdLearn(args)
 	case "classify":
 		err = cmdClassify(args)
+	case "ingest":
+		err = cmdIngest(args)
 	case "all":
 		err = cmdAll(args)
 	case "export":
@@ -136,9 +145,20 @@ experiments (see DESIGN.md for the experiment index):
   export      write every experiment table to a directory (.txt + .csv)
 
 pipeline:
-  datagen -out DIR     write a corpus as N-Triples files
+  datagen -out DIR     write a corpus as N-Triples files (-stream keeps
+                       memory bounded for million-item corpora)
   learn   -data DIR    learn rules from corpus files, save rules.tsv
   classify -rules F    classify external items with saved rules
+  classify -data DIR -csv FILE
+                       batch linking workflow: train on the corpus's
+                       expert links, classify + score every external
+                       item, apply the post-classification filters
+                       (-threshold, -best, -distinct) and emit an
+                       external_id,local_id,confidence CSV
+  ingest -file F       stream NDJSON or N-Triples items into a service
+                       through the batched bulk path, against a running
+                       server (-addr) or straight into a durability
+                       directory (-store); -side, -bulk-batch
 
 service:
   serve -addr HOST:PORT   run the live linking service (HTTP/JSON):
@@ -523,12 +543,16 @@ func cmdDatagen(args []string) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	cf := addCorpusFlags(fs)
 	out := fs.String("out", "corpus", "output directory")
+	stream := fs.Bool("stream", false, "stream entities to disk as they are generated (bounded memory; triples land in generation order, not sorted)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
 	cfg, err := cf.config()
 	if err != nil {
 		return err
+	}
+	if *stream {
+		return streamDatagen(cfg, *out)
 	}
 	ds, err := datalink.GenerateCorpus(cfg)
 	if err != nil {
@@ -549,6 +573,80 @@ func cmdDatagen(args []string) error {
 		}
 		fmt.Printf("wrote %s (%d triples)\n", filepath.Join(*out, name), g.Len())
 	}
+	return nil
+}
+
+// ntSink writes corpus entities straight to their N-Triples files as
+// they are generated — `datagen -stream`'s bounded-memory path. The
+// corpus is identical to the materialized one; only the line order
+// differs (generation order instead of sorted), which any N-Triples
+// reader is indifferent to.
+type ntSink struct {
+	local, external, training *bufio.Writer
+	locals, externals         int
+}
+
+func (s *ntSink) Local(id, class datalink.Term, pn string) error {
+	s.locals++
+	_, err := fmt.Fprintf(s.local, "%s\n%s\n",
+		datalink.T(id, datalink.RDFType, class),
+		datalink.T(id, datalink.PartNumberProperty, datalink.NewLiteral(pn)))
+	return err
+}
+
+func (s *ntSink) External(id datalink.Term, pn, manufacturer string, local, _ datalink.Term) error {
+	s.externals++
+	if _, err := fmt.Fprintf(s.external, "%s\n%s\n",
+		datalink.T(id, datalink.PartNumberProperty, datalink.NewLiteral(pn)),
+		datalink.T(id, datalink.ManufacturerProperty, datalink.NewLiteral(manufacturer))); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(s.training, "%s\n", datalink.T(id, datalink.OWLSameAs, local))
+	return err
+}
+
+// streamDatagen is `datagen -stream`: generate the corpus directly into
+// the output files without materializing it.
+func streamDatagen(cfg datalink.CorpusConfig, out string) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	sink := &ntSink{}
+	names := []string{"local.nt", "external.nt", "training.nt"}
+	dests := []**bufio.Writer{&sink.local, &sink.external, &sink.training}
+	files := make([]*os.File, 0, len(names))
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	for i, name := range names {
+		f, err := os.Create(filepath.Join(out, name))
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+		*dests[i] = bufio.NewWriter(f)
+	}
+	ont, err := datalink.StreamCorpus(cfg, sink)
+	if err != nil {
+		return err
+	}
+	for i, bw := range []*bufio.Writer{sink.local, sink.external, sink.training} {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := files[i].Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (streamed)\n", filepath.Join(out, names[i]))
+	}
+	og := ont.ToGraph()
+	if err := writeGraph(filepath.Join(out, "ontology.nt"), og); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d triples)\n", filepath.Join(out, "ontology.nt"), og.Len())
+	fmt.Printf("streamed %d local and %d external items\n", sink.locals, sink.externals)
 	return nil
 }
 
@@ -615,10 +713,19 @@ func cmdClassify(args []string) error {
 	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
 	rulesIn := fs.String("rules", "rules.tsv", "rules file (from `linkrules learn`)")
 	extPath := fs.String("external", "corpus/external.nt", "external items file")
-	topK := fs.Int("top", 3, "predictions to print per item")
-	limit := fs.Int("limit", 20, "items to print (0 = all)")
+	topK := fs.Int("top", 3, "predictions to print — or candidate links to score — per item")
+	limit := fs.Int("limit", 20, "items to print (0 = all; print mode only)")
+	dataDir := fs.String("data", "", "linking mode: corpus directory (from `linkrules datagen`) to train on and link")
+	csvOut := fs.String("csv", "", "linking mode: write an external_id,local_id,confidence CSV to FILE (- = stdout)")
+	threshold := fs.Float64("threshold", 0.5, "linking mode: minimum match confidence")
+	th := fs.Float64("th", 0, "linking mode: rule support threshold (0 = paper default 0.002)")
+	best := fs.Bool("best", false, "linking mode filter: keep only the best link per external item")
+	distinct := fs.Bool("distinct", false, "linking mode filter: one-to-one links, kept greedily by confidence")
 	if err := parse(fs, args); err != nil {
 		return err
+	}
+	if *csvOut != "" {
+		return classifyLinks(*dataDir, *csvOut, *threshold, *th, *topK, *best, *distinct)
 	}
 	rf, err := os.Open(*rulesIn)
 	if err != nil {
@@ -659,6 +766,113 @@ func cmdClassify(args []string) error {
 		fmt.Println("no external item matched any rule")
 	}
 	return nil
+}
+
+// classifyLinks is `classify -csv`: the batch linking workflow in one
+// command. Train on the corpus's expert links, classify every external
+// item to reduce its candidate space, score the candidates, then apply
+// the post-classification filter rules (-threshold, -best, -distinct)
+// and emit one external_id,local_id,confidence row per surviving link.
+func classifyLinks(dir, out string, threshold, support float64, topK int, best, distinct bool) error {
+	if dir == "" {
+		return fmt.Errorf("-csv needs -data DIR (a corpus from `linkrules datagen`)")
+	}
+	if threshold < 0 || threshold > 1 {
+		return fmt.Errorf("-threshold must be in [0,1], got %g", threshold)
+	}
+	ds, err := readDataset(dir)
+	if err != nil {
+		return err
+	}
+	p, err := datalink.NewPipeline(datalink.LearnerConfig{SupportThreshold: support},
+		ds.Training, ds.External, ds.Local, ds.Ontology)
+	if err != nil {
+		return err
+	}
+	cfg := datalink.DefaultLinkingConfig()
+	cfg.Threshold = threshold
+	items := ds.External.AllSubjects()
+	sort.Slice(items, func(i, j int) bool { return items[i].Compare(items[j]) < 0 })
+	if topK < 1 {
+		topK = 1
+	}
+	byItem, err := p.LinkTopK(context.Background(), items, cfg, topK)
+	if err != nil {
+		return err
+	}
+	var links []datalink.Match
+	for _, item := range items {
+		ms := byItem[item]
+		sort.SliceStable(ms, func(i, j int) bool { return ms[i].Score > ms[j].Score })
+		if best && len(ms) > 1 {
+			ms = ms[:1]
+		}
+		links = append(links, ms...)
+	}
+	if distinct {
+		links = distinctLinks(links)
+	}
+
+	var f *os.File
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		if f, err = os.Create(out); err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"external_id", "local_id", "confidence"}); err != nil {
+		return err
+	}
+	linked := map[datalink.Term]struct{}{}
+	for _, m := range links {
+		linked[m.External] = struct{}{}
+		if err := cw.Write([]string{m.External.Value, m.Local.Value, strconv.FormatFloat(m.Score, 'f', 4, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "linkrules classify: %d links over %d of %d external items (threshold %.2f)\n",
+		len(links), len(linked), len(items), threshold)
+	return nil
+}
+
+// distinctLinks enforces one-to-one linking greedily by confidence: walk
+// the links in descending score order and drop any that reuse an
+// already-linked external or local item. The survivors keep their
+// original (per-item) order.
+func distinctLinks(links []datalink.Match) []datalink.Match {
+	ordered := append([]datalink.Match(nil), links...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Score > ordered[j].Score })
+	usedE, usedL := map[datalink.Term]struct{}{}, map[datalink.Term]struct{}{}
+	keep := map[datalink.Match]struct{}{}
+	for _, m := range ordered {
+		if _, dup := usedE[m.External]; dup {
+			continue
+		}
+		if _, dup := usedL[m.Local]; dup {
+			continue
+		}
+		usedE[m.External], usedL[m.Local] = struct{}{}, struct{}{}
+		keep[m] = struct{}{}
+	}
+	out := links[:0]
+	for _, m := range links {
+		if _, ok := keep[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
 }
 
 func cmdExport(args []string) error {

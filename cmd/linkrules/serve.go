@@ -59,6 +59,7 @@ func cmdServe(args []string) error {
 	storeDir := fs.String("store", "", "durability directory (empty: ephemeral; existing state wins over corpus flags)")
 	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy: never, interval or always")
 	snapEvery := fs.Int("snapshot-every", 1024, "mutations between automatic snapshots (<0 disables)")
+	bulkBatch := fs.Int("bulk-batch", 0, "default items per bulk-ingest batch commit (0: 1000; requests may override with ?batch=N)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrently served requests; excess gets 429 (0: unlimited)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline; 503 when exceeded (0: none)")
@@ -97,6 +98,7 @@ func cmdServe(args []string) error {
 			APIKeys:        keys,
 			StrictAuth:     *strictAuth,
 		},
+		BulkBatch:   *bulkBatch,
 		Metrics:     reg,
 		EnablePprof: *pprofOn,
 		Recorder: obs.RecorderOptions{

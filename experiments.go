@@ -56,9 +56,26 @@ func SmallCorpusConfig(seed int64) CorpusConfig { return datagen.SmallConfig(see
 // in cfg.Seed.
 func GenerateCorpus(cfg CorpusConfig) (*Dataset, error) { return datagen.Generate(cfg) }
 
+// CorpusSink receives streamed corpus entities in generation order; see
+// StreamCorpus.
+type CorpusSink = datagen.Sink
+
+// StreamCorpus generates the corpus for cfg directly into sink without
+// materializing graphs or links, so memory stays bounded by the taxonomy
+// (O(classes)) rather than the corpus — million-item catalogs generate
+// in constant space. Content and order are identical to GenerateCorpus
+// for the same cfg. Returns the corpus ontology.
+func StreamCorpus(cfg CorpusConfig, sink CorpusSink) (*Ontology, error) {
+	return datagen.Stream(cfg, sink)
+}
+
 // PartNumberProperty is the provider part-number property of generated
 // corpora — the property the paper's expert selected.
 var PartNumberProperty = datagen.PartNumberProp
+
+// ManufacturerProperty is the provider manufacturer property of
+// generated corpora — present but deliberately not class-indicative.
+var ManufacturerProperty = datagen.ManufacturerProp
 
 // BuildCorpus learns a model over a dataset (zero config = paper
 // settings on the part-number property) and prepares shared state for

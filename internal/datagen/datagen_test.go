@@ -1,6 +1,7 @@
 package datagen
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -315,3 +316,70 @@ func TestPartNumberHelperMissing(t *testing.T) {
 		t.Errorf("PartNumber missing = %q", got)
 	}
 }
+
+// collectSink rebuilds Dataset-shaped state from the streaming API.
+type collectSink struct {
+	local, external *rdf.Graph
+	links           int
+	fail            error
+}
+
+func (s *collectSink) Local(id, class rdf.Term, pn string) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	s.local.Add(rdf.T(id, rdf.TypeTerm, class))
+	s.local.Add(rdf.T(id, PartNumberProp, rdf.NewLiteral(pn)))
+	return nil
+}
+
+func (s *collectSink) External(id rdf.Term, pn, manufacturer string, local, trueClass rdf.Term) error {
+	s.external.Add(rdf.T(id, PartNumberProp, rdf.NewLiteral(pn)))
+	s.external.Add(rdf.T(id, ManufacturerProp, rdf.NewLiteral(manufacturer)))
+	s.links++
+	return nil
+}
+
+// TestStreamMatchesGenerate pins the streaming contract: Stream must
+// produce exactly the corpus Generate materializes for the same Config.
+func TestStreamMatchesGenerate(t *testing.T) {
+	cfg := SmallConfig(11)
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	sink := &collectSink{local: rdf.NewGraph(), external: rdf.NewGraph()}
+	ont, err := Stream(cfg, sink)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if got, want := len(ont.Leaves()), len(ds.Ontology.Leaves()); got != want {
+		t.Errorf("streamed ontology has %d leaves, Generate made %d", got, want)
+	}
+	text := func(g *rdf.Graph) string {
+		var b strings.Builder
+		if err := rdf.WriteNTriples(&b, g); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if text(sink.local) != text(ds.Local) {
+		t.Error("streamed local graph diverged from Generate")
+	}
+	if text(sink.external) != text(ds.External) {
+		t.Error("streamed external graph diverged from Generate")
+	}
+	if sink.links != len(ds.Training.Links) {
+		t.Errorf("streamed %d links, Generate made %d", sink.links, len(ds.Training.Links))
+	}
+}
+
+// TestStreamSinkErrorAborts: a sink error must stop generation.
+func TestStreamSinkErrorAborts(t *testing.T) {
+	sink := &collectSink{local: rdf.NewGraph(), external: rdf.NewGraph(), fail: errStop}
+	if _, err := Stream(SmallConfig(11), sink); err != errStop {
+		t.Fatalf("Stream error = %v, want errStop", err)
+	}
+}
+
+var errStop = errors.New("stop")

@@ -43,25 +43,86 @@ type Dataset struct {
 	TrueClass map[rdf.Term]rdf.Term
 }
 
+// Sink receives generated corpus entities in generation order. Local is
+// called once per catalog instance; External once per provider document,
+// carrying its expert link target and true class. A non-nil error aborts
+// generation. Sinks see exactly the entities Generate would accumulate —
+// the random draw sequence is shared, so a streamed corpus is identical
+// to the materialized one for the same Config.
+type Sink interface {
+	Local(id, class rdf.Term, partNumber string) error
+	External(id rdf.Term, partNumber, manufacturer string, local, trueClass rdf.Term) error
+}
+
+// datasetSink accumulates the generated corpus into a Dataset — the
+// materializing mode behind Generate.
+type datasetSink struct{ ds *Dataset }
+
+func (s datasetSink) Local(id, class rdf.Term, pn string) error {
+	s.ds.Local.Add(rdf.T(id, rdf.TypeTerm, class))
+	s.ds.Local.Add(rdf.T(id, PartNumberProp, rdf.NewLiteral(pn)))
+	return nil
+}
+
+func (s datasetSink) External(id rdf.Term, pn, manufacturer string, local, trueClass rdf.Term) error {
+	s.ds.External.Add(rdf.T(id, PartNumberProp, rdf.NewLiteral(pn)))
+	s.ds.External.Add(rdf.T(id, ManufacturerProp, rdf.NewLiteral(manufacturer)))
+	s.ds.Training.Links = append(s.ds.Training.Links, core.Link{External: id, Local: local})
+	s.ds.TrueClass[id] = trueClass
+	return nil
+}
+
 // Generate builds the corpus for cfg. The same Config (including Seed)
 // always yields the identical corpus.
 func Generate(cfg Config) (*Dataset, error) {
-	if err := cfg.Validate(); err != nil {
+	ds := &Dataset{
+		Config:    cfg,
+		Local:     rdf.NewGraph(),
+		External:  rdf.NewGraph(),
+		TrueClass: map[rdf.Term]rdf.Term{},
+	}
+	ont, leaves, tokenized, err := generate(cfg, datasetSink{ds})
+	if err != nil {
 		return nil, err
 	}
+	ds.Ontology, ds.Leaves, ds.Tokenized = ont, leaves, tokenized
+	return ds, nil
+}
+
+// Stream generates the corpus for cfg directly into sink without
+// materializing graphs, links or the ground truth: memory stays bounded
+// by the taxonomy and grammar (O(classes)), not the corpus, so
+// million-item catalogs generate in constant space. Entity order and
+// content are identical to Generate's for the same Config. The returned
+// ontology is the corpus taxonomy (itself O(classes)).
+func Stream(cfg Config, sink Sink) (*ontology.Ontology, error) {
+	ont, _, _, err := generate(cfg, sink)
+	if err != nil {
+		return nil, err
+	}
+	return ont, nil
+}
+
+// generate is the core corpus walk shared by Generate and Stream: every
+// random draw happens here, in one fixed order, regardless of what the
+// sink does with the entities.
+func generate(cfg Config, sink Sink) (ont *ontology.Ontology, leaves, tokenized []rdf.Term, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
 	if cfg.CatalogSize < cfg.TrainingLinks {
-		return nil, fmt.Errorf("datagen: CatalogSize %d < TrainingLinks %d", cfg.CatalogSize, cfg.TrainingLinks)
+		return nil, nil, nil, fmt.Errorf("datagen: CatalogSize %d < TrainingLinks %d", cfg.CatalogSize, cfg.TrainingLinks)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	ont, leaves, err := buildTaxonomy(cfg, rng)
+	ont, leaves, err = buildTaxonomy(cfg, rng)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	// Frequency rank order: a seeded shuffle of the leaves; rank 0 is the
 	// most frequent class in TS.
 	rng.Shuffle(len(leaves), func(i, j int) { leaves[i], leaves[j] = leaves[j], leaves[i] })
-	tokenized := append([]rdf.Term(nil), leaves[:cfg.TokenizedClasses]...)
+	tokenized = append([]rdf.Term(nil), leaves[:cfg.TokenizedClasses]...)
 
 	g := buildGrammar(cfg, rng, ont, tokenized, leaves)
 	manufacturers := manufacturerPool(cfg, rng)
@@ -72,26 +133,14 @@ func Generate(cfg Config) (*Dataset, error) {
 	// is broader than any one provider's deliveries).
 	catCum := cumulativeZipf(len(leaves), cfg.ZipfExponent*0.75)
 
-	ds := &Dataset{
-		Config:    cfg,
-		Ontology:  ont,
-		Leaves:    leaves,
-		Tokenized: tokenized,
-		Local:     rdf.NewGraph(),
-		External:  rdf.NewGraph(),
-		TrueClass: map[rdf.Term]rdf.Term{},
-	}
-
 	// Local catalog instances, one per training link first (each expert
 	// reconciliation matches a distinct catalog product), then filler.
 	localSeq := 0
-	newLocal := func(c rdf.Term) (rdf.Term, string) {
+	newLocal := func(c rdf.Term) (rdf.Term, string, error) {
 		id := rdf.NewIRI(fmt.Sprintf("%sP%06d", LocalNS, localSeq))
 		localSeq++
 		pn := g.partNumber(rng, c)
-		ds.Local.Add(rdf.T(id, rdf.TypeTerm, c))
-		ds.Local.Add(rdf.T(id, PartNumberProp, rdf.NewLiteral(pn)))
-		return id, pn
+		return id, pn, sink.Local(id, c, pn)
 	}
 
 	for i := 0; i < cfg.TrainingLinks; i++ {
@@ -102,26 +151,30 @@ func Generate(cfg Config) (*Dataset, error) {
 		if rng.Float64() < cfg.MislabelRate {
 			labelClass = siblingOrOther(rng, ont, leaves, class)
 		}
-		local, canonical := newLocal(labelClass)
+		local, canonical, err := newLocal(labelClass)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		if labelClass != class {
 			// The provider item's part number still follows the true
 			// product's grammar; the expert linked it to a wrong catalog
 			// entry, which keeps its own part number.
 			canonical = g.partNumber(rng, class)
 		}
-		ds.External.Add(rdf.T(ext, PartNumberProp,
-			rdf.NewLiteral(providerVariant(rng, canonical, cfg.TypoRate))))
-		ds.External.Add(rdf.T(ext, ManufacturerProp,
-			rdf.NewLiteral(manufacturers[rng.Intn(len(manufacturers))])))
-		ds.Training.Links = append(ds.Training.Links, core.Link{External: ext, Local: local})
-		ds.TrueClass[ext] = labelClass
+		pn := providerVariant(rng, canonical, cfg.TypoRate)
+		manufacturer := manufacturers[rng.Intn(len(manufacturers))]
+		if err := sink.External(ext, pn, manufacturer, local, labelClass); err != nil {
+			return nil, nil, nil, err
+		}
 	}
 
 	for localSeq < cfg.CatalogSize {
 		class := leaves[drawRank(rng, catCum)]
-		newLocal(class)
+		if _, _, err := newLocal(class); err != nil {
+			return nil, nil, nil, err
+		}
 	}
-	return ds, nil
+	return ont, leaves, tokenized, nil
 }
 
 // siblingOrOther picks a wrong class for label noise: a sibling when one

@@ -74,6 +74,55 @@ func (e *Engine) Remove(side Side, items ...rdf.Term) {
 	st.syncVersion(side)
 }
 
+// IndexPatch is one batched value-index mutation: re-index (or with
+// Remove, drop) Items on Side. A slice of patches expresses an ordered
+// mixed upsert/remove batch for ApplyPatches.
+type IndexPatch struct {
+	Side   Side
+	Remove bool
+	Items  []rdf.Term
+}
+
+// ApplyPatches applies an ordered sequence of upsert/remove patches
+// under ONE acquisition of the index lock, so a 10k-item bulk load
+// blocks readers once instead of once per sub-op. Semantics per patch
+// match Upsert (Remove=false: re-read from the graph, dropping items
+// with no remaining values) and Remove (Remove=true: drop without
+// consulting the graph); each touched side's recorded graph version
+// advances once at the end.
+func (e *Engine) ApplyPatches(patches []IndexPatch) {
+	st := e.st
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var touched [2]bool
+	for _, p := range patches {
+		g := st.graph(p.Side)
+		for ci := range st.comps {
+			c := &st.comps[ci]
+			m, prop := c.sideIndex(p.Side)
+			for _, item := range p.Items {
+				if p.Remove {
+					delete(m, item)
+					continue
+				}
+				vals := itemValues(g, item, prop, c.tokens != nil, c.tokenSets != nil)
+				if len(vals) == 0 {
+					delete(m, item)
+				} else {
+					m[item] = vals
+				}
+			}
+		}
+		touched[p.Side] = true
+	}
+	if touched[ExternalSide] {
+		st.syncVersion(ExternalSide)
+	}
+	if touched[LocalSide] {
+		st.syncVersion(LocalSide)
+	}
+}
+
 // Versions returns the external and local graph versions the value index
 // currently reflects: the Version() observed at New, advanced by each
 // Upsert/Remove on the respective side.

@@ -21,30 +21,71 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("rdf: parse error at line %d col %d: %s", e.Line, e.Col, e.Msg)
 }
 
-// ReadNTriples parses N-Triples from r into a new graph. Comment lines
-// (starting with '#') and blank lines are skipped. Parsing stops at the
-// first syntax error.
-func ReadNTriples(r io.Reader) (*Graph, error) {
-	g := NewGraph()
+// NTriplesReader is a streaming N-Triples parser: it reads one
+// statement at a time from an io.Reader in bounded memory (one line
+// buffered at most), so arbitrarily large files never materialize as a
+// graph. Comment lines (starting with '#') and blank lines are skipped.
+type NTriplesReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+	err    error
+}
+
+// NewNTriplesReader returns a streaming reader over r. Lines up to 16MB
+// are accepted (matching ReadNTriples).
+func NewNTriplesReader(r io.Reader) *NTriplesReader {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
+	return &NTriplesReader{sc: sc}
+}
+
+// Line returns the 1-based line number of the statement (or error) the
+// last Next call produced.
+func (nr *NTriplesReader) Line() int { return nr.lineNo }
+
+// Next returns the next statement. At the end of the input it returns
+// io.EOF; a malformed line returns a *ParseError carrying the line and
+// column, with the line consumed — the caller may keep calling Next to
+// skip past bad lines, which is exactly what the bulk-ingest per-line
+// error report does. I/O errors from the underlying reader are
+// terminal.
+func (nr *NTriplesReader) Next() (Triple, error) {
+	if nr.err != nil {
+		return Triple{}, nr.err
+	}
+	for nr.sc.Scan() {
+		nr.lineNo++
+		line := strings.TrimSpace(nr.sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		t, err := parseNTriplesLine(line, lineNo)
+		return parseNTriplesLine(line, nr.lineNo)
+	}
+	if err := nr.sc.Err(); err != nil {
+		nr.err = fmt.Errorf("rdf: reading n-triples: %w", err)
+	} else {
+		nr.err = io.EOF
+	}
+	return Triple{}, nr.err
+}
+
+// ReadNTriples parses N-Triples from r into a new graph. Comment lines
+// (starting with '#') and blank lines are skipped. Parsing stops at the
+// first syntax error. It is the strict, materializing wrapper over
+// NTriplesReader.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	nr := NewNTriplesReader(r)
+	for {
+		t, err := nr.Next()
+		if err == io.EOF {
+			return g, nil
+		}
 		if err != nil {
 			return nil, err
 		}
 		g.Add(t)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("rdf: reading n-triples: %w", err)
-	}
-	return g, nil
 }
 
 // parseNTriplesLine parses a single "<s> <p> <o> ." statement.

@@ -115,6 +115,10 @@ func serviceFingerprint(t *testing.T, s *Service) (ext, loc, rules, links string
 type mutation struct {
 	path string
 	body map[string]any
+	// raw, when non-empty, is sent verbatim with contentType instead of
+	// JSON-marshaling body — for the streaming bulk endpoint.
+	raw         string
+	contentType string
 }
 
 // randomMutations scripts n random upserts, removals and learns over the
@@ -132,7 +136,7 @@ func randomMutations(rng *rand.Rand, n int) []mutation {
 		i := rng.Intn(26) // hits existing items and creates new ones
 		switch rng.Intn(5) {
 		case 0, 1: // upsert external
-			muts = append(muts, mutation{"/v1/items/upsert", map[string]any{
+			muts = append(muts, mutation{path: "/v1/items/upsert", body: map[string]any{
 				"side": "external",
 				"items": []map[string]any{{
 					"id":         id("e", k.prefix, i),
@@ -140,7 +144,7 @@ func randomMutations(rng *rand.Rand, n int) []mutation {
 				}},
 			}})
 		case 2: // upsert local (with class)
-			muts = append(muts, mutation{"/v1/items/upsert", map[string]any{
+			muts = append(muts, mutation{path: "/v1/items/upsert", body: map[string]any{
 				"side": "local",
 				"items": []map[string]any{{
 					"id":         id("l", k.prefix, i),
@@ -153,7 +157,7 @@ func randomMutations(rng *rand.Rand, n int) []mutation {
 			if rng.Intn(2) == 0 {
 				side, sid = "local", "l"
 			}
-			muts = append(muts, mutation{"/v1/items/remove", map[string]any{
+			muts = append(muts, mutation{path: "/v1/items/remove", body: map[string]any{
 				"side": side,
 				"ids":  []string{id(sid, k.prefix, rng.Intn(26))},
 			}})
@@ -166,7 +170,7 @@ func randomMutations(rng *rand.Rand, n int) []mutation {
 					"local":    id("l", k.prefix, x),
 				})
 			}
-			muts = append(muts, mutation{"/v1/learn", map[string]any{"links": ls}})
+			muts = append(muts, mutation{path: "/v1/learn", body: map[string]any{"links": ls}})
 		}
 	}
 	return muts
@@ -177,6 +181,9 @@ func randomMutations(rng *rand.Rand, n int) []mutation {
 // services must fail identically, so the status code is returned.
 func applyMutation(t *testing.T, h http.Handler, m mutation) int {
 	t.Helper()
+	if m.raw != "" {
+		return rawCall(t, h, m.path, m.contentType, m.raw, nil).Code
+	}
 	rr := call(t, h, http.MethodPost, m.path, m.body, nil)
 	return rr.Code
 }
@@ -255,7 +262,7 @@ func TestRestoreFromSeedAndReopen(t *testing.T) {
 	sopts := store.Options{Fsync: store.FsyncNever}
 	svc := restoreService(t, dir, corpusSeed(t), sopts)
 
-	if code := applyMutation(t, svc.Handler(), mutation{"/v1/items/upsert", map[string]any{
+	if code := applyMutation(t, svc.Handler(), mutation{path: "/v1/items/upsert", body: map[string]any{
 		"side": "external",
 		"items": []map[string]any{{
 			"id":         "http://ex.org/e/new1",
@@ -301,8 +308,8 @@ func TestRecoveryPreservesModelAcrossPostLearnMutations(t *testing.T) {
 	// Post-learn mutations on both: remove a linked local item (purges a
 	// training link) and add a fresh external item. Neither relearns.
 	muts := []mutation{
-		{"/v1/items/remove", map[string]any{"side": "local", "ids": []string{"http://ex.org/l/r1"}}},
-		{"/v1/items/upsert", map[string]any{"side": "external", "items": []map[string]any{{
+		{path: "/v1/items/remove", body: map[string]any{"side": "local", "ids": []string{"http://ex.org/l/r1"}}},
+		{path: "/v1/items/upsert", body: map[string]any{"side": "external", "items": []map[string]any{{
 			"id": "http://ex.org/e/extra", "properties": map[string][]string{pnProp: {"CAP-0099-Z"}},
 		}}}},
 	}
@@ -400,7 +407,7 @@ func TestAdminSnapshotEndpoint(t *testing.T) {
 	defer svc.Close()
 	h := svc.Handler()
 
-	applyMutation(t, h, mutation{"/v1/items/remove", map[string]any{
+	applyMutation(t, h, mutation{path: "/v1/items/remove", body: map[string]any{
 		"side": "external", "ids": []string{"http://ex.org/e/r0"},
 	}})
 
@@ -480,7 +487,7 @@ func TestAutomaticCheckpoint(t *testing.T) {
 	defer svc.Close()
 	h := svc.Handler()
 	for i := 0; i < 12; i++ {
-		code := applyMutation(t, h, mutation{"/v1/items/upsert", map[string]any{
+		code := applyMutation(t, h, mutation{path: "/v1/items/upsert", body: map[string]any{
 			"side": "external",
 			"items": []map[string]any{{
 				"id":         fmt.Sprintf("http://ex.org/e/auto%d", i),

@@ -224,13 +224,13 @@ func (s *Service) commit(ctx context.Context, rec *store.Record) (applyResult, e
 
 // applyLocked dispatches one mutation record to its applier. It is the
 // shared path of live commits and recovery replay; callers hold the
-// write lock.
+// write lock. Item mutations — plain upserts, plain removes, and
+// batches of many — all flow through the same op-slice applier, so a
+// replayed batch takes exactly the code path of a live one.
 func (s *Service) applyLocked(ctx context.Context, rec *store.Record) (applyResult, error) {
 	switch rec.Op {
-	case store.OpUpsert:
-		return s.applyUpsertLocked(rec.Upsert), nil
-	case store.OpRemove:
-		return s.applyRemoveLocked(rec.Remove), nil
+	case store.OpUpsert, store.OpRemove, store.OpBatch:
+		return s.applyEntriesLocked(rec.Entries()), nil
 	case store.OpLearn:
 		return s.applyLearnLocked(ctx, rec.Learn)
 	default:
@@ -238,52 +238,64 @@ func (s *Service) applyLocked(ctx context.Context, rec *store.Record) (applyResu
 	}
 }
 
-// applyUpsertLocked replaces the listed item descriptions and pushes the
-// change into the cached linker and instance index incrementally.
-func (s *Service) applyUpsertLocked(op *store.UpsertOp) applyResult {
-	side := sideFromStore(op.Side)
-	terms := make([]datalink.Term, len(op.Items))
-	for i, it := range op.Items {
-		terms[i] = datalink.NewIRI(it.ID)
-		s.replaceItemLocked(side, terms[i], it.Props, it.Classes)
+// applyEntriesLocked applies an ordered slice of upsert/remove sub-ops:
+// graph mutations and training-link purges happen per entry in order,
+// then the value index and instance index are patched for ALL entries
+// under one pipeline lock acquisition, the instance snapshot is frozen
+// once, and the caller publishes the COW bundle once. That collapsing
+// is what makes a 10k-item batch cost one index lock round trip and one
+// publish instead of 10k — and it is order-safe because index upserts
+// re-read the (final) graph state and the last patch for an item always
+// agrees with the graphs.
+func (s *Service) applyEntriesLocked(entries []store.BatchEntry) applyResult {
+	var res applyResult
+	patches := make([]datalink.Patch, 0, len(entries))
+	localTouched := false
+	for _, e := range entries {
+		switch {
+		case e.Upsert != nil:
+			op := e.Upsert
+			side := sideFromStore(op.Side)
+			terms := make([]datalink.Term, len(op.Items))
+			for i, it := range op.Items {
+				terms[i] = datalink.NewIRI(it.ID)
+				s.replaceItemLocked(side, terms[i], it.Props, it.Classes)
+			}
+			patches = append(patches, datalink.Patch{Side: side, Items: terms})
+			localTouched = localTouched || side == datalink.LocalSide
+			res.upserted += len(op.Items)
+			res.version = s.graphLocked(side).Version()
+		case e.Remove != nil:
+			op := e.Remove
+			side := sideFromStore(op.Side)
+			g := s.graphLocked(side)
+			terms := make([]datalink.Term, 0, len(op.IDs))
+			gone := make(map[datalink.Term]struct{}, len(op.IDs))
+			for _, id := range op.IDs {
+				item := datalink.NewIRI(id)
+				terms = append(terms, item)
+				gone[item] = struct{}{}
+				trs := g.Find(item, datalink.Term{}, datalink.Term{})
+				for _, tr := range trs {
+					g.Remove(tr)
+				}
+				if len(trs) > 0 {
+					res.removed++
+				}
+			}
+			res.purged += s.purgeLinksLocked(side, gone)
+			patches = append(patches, datalink.Patch{Side: side, Remove: true, Items: terms})
+			localTouched = localTouched || side == datalink.LocalSide
+			res.version = g.Version()
+		}
 	}
-	if s.pipe != nil {
-		s.pipe.Upsert(side, terms...)
-		if side == datalink.LocalSide {
+	if s.pipe != nil && len(patches) > 0 {
+		s.pipe.ApplyPatches(patches)
+		if localTouched {
 			s.freezeInstancesLocked()
 		}
 	}
-	return applyResult{version: s.graphLocked(side).Version(), upserted: len(op.Items)}
-}
-
-// applyRemoveLocked removes items and purges training links whose
-// endpoint on this side is gone.
-func (s *Service) applyRemoveLocked(op *store.RemoveOp) applyResult {
-	side := sideFromStore(op.Side)
-	g := s.graphLocked(side)
-	terms := make([]datalink.Term, 0, len(op.IDs))
-	gone := make(map[datalink.Term]struct{}, len(op.IDs))
-	removed := 0
-	for _, id := range op.IDs {
-		item := datalink.NewIRI(id)
-		terms = append(terms, item)
-		gone[item] = struct{}{}
-		trs := g.Find(item, datalink.Term{}, datalink.Term{})
-		for _, tr := range trs {
-			g.Remove(tr)
-		}
-		if len(trs) > 0 {
-			removed++
-		}
-	}
-	purged := s.purgeLinksLocked(side, gone)
-	if s.pipe != nil {
-		s.pipe.RemoveItems(side, terms...)
-		if side == datalink.LocalSide {
-			s.freezeInstancesLocked()
-		}
-	}
-	return applyResult{version: g.Version(), removed: removed, purged: purged}
+	return res
 }
 
 // applyLearnLocked extends (or replaces) the training links and

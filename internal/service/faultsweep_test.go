@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/faultfs"
@@ -52,6 +54,19 @@ func serviceSweepSteps() []sweepStep {
 	learn := func(ext, loc string) sweepStep {
 		return m("/v1/learn", map[string]any{"links": []map[string]any{{"external": ext, "local": loc}}})
 	}
+	// bulk sends an NDJSON stream through the streaming endpoint. The
+	// chunk size exceeds the line count, so the whole request is ONE
+	// batch record — a fault anywhere in its write path must leave the
+	// batch wholly applied or wholly absent, which is exactly what the
+	// prefix-fingerprint verification asserts (a half-applied batch
+	// would match no mirror prefix).
+	bulk := func(side string, lines ...string) sweepStep {
+		return sweepStep{mut: &mutation{
+			path:        "/v1/items/bulk?side=" + side + "&batch=64",
+			raw:         strings.Join(lines, "\n") + "\n",
+			contentType: "application/x-ndjson",
+		}}
+	}
 	return []sweepStep{
 		up("external", "http://ex.org/e/r20", "RES-0020-Q"),
 		up("local", "http://ex.org/l/r20", "RES-0020-Q", clsRes),
@@ -59,10 +74,17 @@ func serviceSweepSteps() []sweepStep {
 		{}, // forced checkpoint
 		up("external", "http://ex.org/e/c21", "CAP-0021-Q"),
 		m("/v1/items/remove", map[string]any{"side": "local", "ids": []string{"http://ex.org/l/r3"}}),
+		bulk("external",
+			`{"id":"http://ex.org/e/b1","properties":{"`+pnProp+`":["RES-0031-B"]}}`,
+			`{"id":"http://ex.org/e/b2","properties":{"`+pnProp+`":["CAP-0032-B"]}}`,
+			`{"id":"http://ex.org/e/c7","remove":true}`, // purges c7's training link
+			`{"id":"http://ex.org/e/b1","properties":{"`+pnProp+`":["RES-0033-B"]}}`),
 		learn("http://ex.org/e/c5", "http://ex.org/l/c5"),
 		{}, // forced checkpoint
 		up("external", "http://ex.org/e/r2", "RES-0002-A"),
-		m("/v1/items/remove", map[string]any{"side": "external", "ids": []string{"http://ex.org/e/c7"}}),
+		bulk("local",
+			`{"id":"http://ex.org/l/b3","properties":{"`+pnProp+`":["RES-0034-B"]},"classes":["`+clsRes+`"]}`,
+			`{"id":"http://ex.org/l/c2","remove":true}`),
 		learn("http://ex.org/e/r15", "http://ex.org/l/r15"),
 	}
 }
@@ -145,7 +167,12 @@ func runServiceWorkload(t *testing.T, dir string, fs store.FS, steps []sweepStep
 			continue
 		}
 		mi++
-		rr := call(t, h, http.MethodPost, step.mut.path, step.mut.body, nil)
+		var rr *httptest.ResponseRecorder
+		if step.mut.raw != "" {
+			rr = rawCall(t, h, step.mut.path, step.mut.contentType, step.mut.raw, nil)
+		} else {
+			rr = call(t, h, http.MethodPost, step.mut.path, step.mut.body, nil)
+		}
 		switch {
 		case rr.Code == http.StatusServiceUnavailable:
 			reason := errEnvelope(t, rr.Body.Bytes()).Reason

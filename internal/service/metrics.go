@@ -76,6 +76,7 @@ var knownPaths = map[string]struct{}{
 	"/v1/status":         {},
 	"/v1/items/upsert":   {},
 	"/v1/items/remove":   {},
+	"/v1/items/bulk":     {},
 	"/v1/learn":          {},
 	"/v1/rules":          {},
 	"/v1/link":           {},

@@ -47,6 +47,8 @@
 //	GET  /v1/status          corpus sizes, versions, model and durability state
 //	POST /v1/items/upsert    replace item descriptions on one side
 //	POST /v1/items/remove    remove items (and their training links) on one side
+//	POST /v1/items/bulk      streaming bulk ingest (NDJSON or N-Triples body,
+//	                         chunked into batched WAL records; see bulk.go)
 //	POST /v1/learn           learn rules from labeled same-as links
 //	GET  /v1/rules           the learned rule set
 //	POST /v1/link            top-k links for items, in their reduced space
@@ -79,8 +81,13 @@ type Options struct {
 	// comparators. Leaving it zero makes comparators mandatory per
 	// request.
 	DefaultLinker datalink.LinkerConfig
-	// MaxBodyBytes caps request bodies; 0 means 8 MiB.
+	// MaxBodyBytes caps request bodies; 0 means 8 MiB. The streaming
+	// bulk endpoint is exempt — it never buffers the body.
 	MaxBodyBytes int64
+	// BulkBatch is how many items POST /v1/items/bulk commits per
+	// batched WAL record; 0 means 1000. A request's ?batch= parameter
+	// overrides it.
+	BulkBatch int
 	// Resilience configures the overload-protection middleware (panic
 	// recovery, admission control, rate limiting, request deadlines); the
 	// zero value applies no limits. See resilience.go.
@@ -368,6 +375,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/items/upsert", s.handleUpsert)
 	mux.HandleFunc("POST /v1/items/remove", s.handleRemove)
+	mux.HandleFunc("POST /v1/items/bulk", s.handleBulk)
 	mux.HandleFunc("POST /v1/learn", s.handleLearn)
 	mux.HandleFunc("GET /v1/rules", s.handleRules)
 	mux.HandleFunc("POST /v1/link", s.handleLink)

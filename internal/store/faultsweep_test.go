@@ -11,6 +11,7 @@ package store_test
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"repro/internal/faultfs"
@@ -26,8 +27,21 @@ func sweepOptions(fs store.FS) store.Options {
 }
 
 // sweepRecord builds the i-th workload record; its content encodes i so
-// recovery can verify byte-level survival by sequence number.
+// recovery can verify byte-level survival by sequence number. Every
+// third record is a batch (two upserts and a remove in one frame), so
+// the sweep proves the batch contract too: a fault anywhere in the
+// write path leaves the batch wholly on disk or wholly absent, never
+// a prefix of its entries.
 func sweepRecord(i uint64) *store.Record {
+	if i%3 == 0 {
+		return &store.Record{Op: store.OpBatch, Batch: &store.BatchOp{Ops: []store.BatchEntry{
+			{Upsert: &store.UpsertOp{Side: store.External, Items: []store.Item{
+				{ID: sweepID(i) + "-a", Props: map[string][]string{"http://ex.org/p": {fmt.Sprintf("value-%02d-a", i)}}},
+				{ID: sweepID(i) + "-b", Props: map[string][]string{"http://ex.org/p": {fmt.Sprintf("value-%02d-b", i)}}},
+			}}},
+			{Remove: &store.RemoveOp{Side: store.External, IDs: []string{sweepID(i) + "-a"}}},
+		}}}
+	}
 	return &store.Record{Op: store.OpUpsert, Upsert: &store.UpsertOp{
 		Side:  store.External,
 		Items: []store.Item{{ID: sweepID(i), Props: map[string][]string{"http://ex.org/p": {fmt.Sprintf("value-%02d", i)}}}},
@@ -103,9 +117,13 @@ func verifySweepRecovery(t *testing.T, dir string, out sweepOutcome) {
 			t.Fatalf("recovered tail seq %d at position %d, want %d (gap or duplicate)", r.Seq, i, want)
 		}
 		// Acknowledged (and ambiguous) records must survive intact, not
-		// merely exist: the ID encodes the sequence number.
-		if got := r.Upsert.Items[0].ID; got != sweepID(r.Seq) {
-			t.Fatalf("recovered record %d has ID %q, want %q", r.Seq, got, sweepID(r.Seq))
+		// merely exist: content is a pure function of the sequence number,
+		// so a deep compare catches any corruption — including a batch
+		// that lost or reordered entries.
+		want := sweepRecord(r.Seq)
+		want.Seq = r.Seq
+		if !reflect.DeepEqual(r, want) {
+			t.Fatalf("recovered record %d diverged:\nwant %+v\ngot  %+v", r.Seq, want, r)
 		}
 		covered = r.Seq
 	}

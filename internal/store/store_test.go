@@ -41,6 +41,22 @@ func removeRec(ids ...string) *Record {
 	return &Record{Op: OpRemove, Remove: &RemoveOp{Side: External, IDs: ids}}
 }
 
+// batchRec builds a mixed batch record: n upserts followed by a remove
+// of the first upserted item, both sub-ops in one frame.
+func batchRec(n int) *Record {
+	up := &UpsertOp{Side: External}
+	for i := 0; i < n; i++ {
+		up.Items = append(up.Items, Item{
+			ID:    fmt.Sprintf("http://ex.org/batch/%d", i),
+			Props: map[string][]string{"http://ex.org/pn": {fmt.Sprintf("BN-%04d", i)}},
+		})
+	}
+	return &Record{Op: OpBatch, Batch: &BatchOp{Ops: []BatchEntry{
+		{Upsert: up},
+		{Remove: &RemoveOp{Side: External, IDs: []string{"http://ex.org/batch/0"}}},
+	}}}
+}
+
 func openStore(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
 	t.Helper()
 	st, rec, err := Open(dir, opts)
@@ -58,6 +74,8 @@ func TestRecordBodyRoundTrip(t *testing.T) {
 		learnRec(3),
 		{Op: OpUpsert, Upsert: &UpsertOp{Side: External, Items: []Item{{ID: "x"}}}},
 		{Op: OpLearn, Learn: &LearnOp{Replace: true}},
+		batchRec(3),
+		{Op: OpBatch, Batch: &BatchOp{Ops: []BatchEntry{}}},
 	}
 	for i, r := range recs {
 		body, err := r.encodeBody()
@@ -94,6 +112,47 @@ func TestRecordDecodeRejectsCorruptBody(t *testing.T) {
 	bad[0] = 99 // unknown op
 	if err := new(Record).decodeBody(bad); err == nil {
 		t.Error("decoded unknown op")
+	}
+
+	bb, err := batchRec(2).encodeBody()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := new(Record).decodeBody(bb[:len(bb)/2]); err == nil {
+		t.Error("decoded truncated batch body")
+	}
+	badSub := append([]byte(nil), bb...)
+	badSub[2] = byte(OpLearn) // first entry's op byte: learn is not a valid sub-op
+	if err := new(Record).decodeBody(badSub); err == nil {
+		t.Error("decoded batch with learn sub-op")
+	}
+	if _, err := (&Record{Op: OpBatch, Batch: &BatchOp{Ops: []BatchEntry{{}}}}).encodeBody(); err == nil {
+		t.Error("encoded batch entry with no op set")
+	}
+	if _, err := (&Record{Op: OpBatch, Batch: &BatchOp{Ops: []BatchEntry{
+		{Upsert: &UpsertOp{}, Remove: &RemoveOp{}},
+	}}}).encodeBody(); err == nil {
+		t.Error("encoded batch entry with both ops set")
+	}
+}
+
+func TestRecordEntries(t *testing.T) {
+	if got := upsertRec(1).Entries(); len(got) != 1 || got[0].Upsert == nil {
+		t.Errorf("upsert entries: %+v", got)
+	}
+	if got := removeRec("x").Entries(); len(got) != 1 || got[0].Remove == nil {
+		t.Errorf("remove entries: %+v", got)
+	}
+	if got := learnRec(2).Entries(); got != nil {
+		t.Errorf("learn entries: %+v", got)
+	}
+	b := batchRec(4)
+	got := b.Entries()
+	if len(got) != 2 || got[0].Upsert == nil || got[1].Remove == nil {
+		t.Fatalf("batch entries: %+v", got)
+	}
+	if len(got[0].Upsert.Items) != 4 {
+		t.Errorf("batch upsert entry has %d items, want 4", len(got[0].Upsert.Items))
 	}
 }
 

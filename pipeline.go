@@ -303,6 +303,48 @@ func (p *Pipeline) RemoveItems(side Side, items ...Term) {
 	}
 }
 
+// Patch is one batched index mutation: re-index (or with Remove, drop)
+// Items on Side. See ApplyPatches.
+type Patch = linkage.IndexPatch
+
+// ApplyPatches applies an ordered mixed upsert/remove batch to the
+// cached linker under ONE lock acquisition (the single-op path takes it
+// per call), then patches the instance index for every local-side
+// entry. This is the pipeline half of the service's batched commit: N
+// items cost one writer-lock round trip and — because the caller
+// publishes once after — one snapshot publish.
+func (p *Pipeline) ApplyPatches(patches []Patch) {
+	p.linkerMu.Lock()
+	if p.linker != nil {
+		p.linker.ApplyPatches(patches)
+	}
+	p.linkerMu.Unlock()
+	for _, pt := range patches {
+		if pt.Side != LocalSide {
+			continue
+		}
+		for _, item := range pt.Items {
+			if pt.Remove {
+				p.Instances.RemoveInstance(item)
+			} else {
+				p.Instances.UpsertInstance(item, p.sl.Objects(item, RDFType))
+			}
+		}
+	}
+}
+
+// UpsertBatch re-indexes items on side as one patch — Upsert's
+// slice-native form for bulk loads.
+func (p *Pipeline) UpsertBatch(side Side, items []Term) {
+	p.ApplyPatches([]Patch{{Side: side, Items: items}})
+}
+
+// RemoveBatch drops items from the index on side as one patch —
+// RemoveItems' slice-native form for bulk loads.
+func (p *Pipeline) RemoveBatch(side Side, items []Term) {
+	p.ApplyPatches([]Patch{{Side: side, Remove: true, Items: items}})
+}
+
 // RefreshInstances rebuilds the instance index from the current local
 // graph with a full pass over the type triples — the heavyweight
 // fallback when the caller cannot enumerate which items changed
