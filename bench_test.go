@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -671,6 +672,71 @@ func BenchmarkDamerau(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Similarity("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+// distSink keeps distance results observable so the kernel loops are
+// not optimized away.
+var distSink int
+
+// BenchmarkMyersLevenshtein times the exported distance entry point on
+// the ASCII fast path, which dispatches to the bit-parallel Myers
+// kernel — the exact call the link engine's hot loop makes.
+func BenchmarkMyersLevenshtein(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distSink += similarity.LevenshteinDistance("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+// BenchmarkMyersDamerau is the transposition-aware counterpart.
+func BenchmarkMyersDamerau(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distSink += similarity.DamerauDistance("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+// BenchmarkReferenceLevenshtein times the retained DP oracle on the same
+// input, the denominator of the kernel speedup.
+func BenchmarkReferenceLevenshtein(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distSink += similarity.ReferenceLevenshteinDistance("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+// BenchmarkReferenceDamerau is the DP baseline for the Damerau kernel.
+func BenchmarkReferenceDamerau(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		distSink += similarity.ReferenceDamerauDistance("CRCW0805-63V-ohm", "CRCW0812/63V/ohm")
+	}
+}
+
+// BenchmarkLearnParallel measures a full Learn over the small corpus at
+// one worker and at one worker per CPU. The model is byte-identical at
+// both settings (TestLearnDeterministicAcrossWorkers); only wall time
+// differs, and on a single-CPU host the two are honestly equal.
+func BenchmarkLearnParallel(b *testing.B) {
+	ds, err := GenerateCorpus(SmallCorpusConfig(77))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := LearnerConfig{Workers: workers}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := LearnCtx(context.Background(), cfg, ds.Training, ds.External, ds.Local, ds.Ontology); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	datalink "repro"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/similarity"
 	"repro/internal/store"
 )
 
@@ -38,7 +40,7 @@ import (
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	cf := addCorpusFlags(fs)
-	out := fs.String("out", "BENCH_9.json", "report file (- writes to stdout)")
+	out := fs.String("out", "BENCH_10.json", "report file (- writes to stdout)")
 	smoke := fs.Bool("smoke", false, "tiny corpus and few iterations, for CI smoke runs")
 	queries := fs.Int("queries", 200, "timed link queries")
 	batch := fs.Int("batch", 64, "items per upsert request")
@@ -255,6 +257,29 @@ func cmdBench(args []string) error {
 		rep.Ingest.Items, rep.Ingest.PerItemPerSec, rep.Ingest.BulkPerSec,
 		rep.Ingest.BulkBatches, rep.Ingest.BulkBatch, rep.Ingest.Speedup)
 
+	// Phase 6: similarity kernel microbench — the bit-parallel edit
+	// distance the link engine's hot loop now runs, against the plain DP
+	// it replaced (kept as the reference oracle), over corpus-derived
+	// value pairs.
+	rep.Kernel = benchKernelPhase(specs, *smoke)
+	fmt.Fprintf(os.Stderr, "linkrules bench: kernel %d pairs: lev %.0f ns/op vs dp %.0f (%.1fx), dam %.0f ns/op vs dp %.0f (%.1fx)\n",
+		rep.Kernel.Pairs, rep.Kernel.LevNsPerOp, rep.Kernel.LevDPNsPerOp, rep.Kernel.LevSpeedup,
+		rep.Kernel.DamNsPerOp, rep.Kernel.DamDPNsPerOp, rep.Kernel.DamSpeedup)
+	fmt.Fprintf(os.Stderr, "linkrules bench: kernel bench pair: lev %.0f ns/op vs dp %.0f (%.1fx), dam %.0f ns/op vs dp %.0f (%.1fx)\n",
+		rep.Kernel.BenchPairLevNs, rep.Kernel.BenchPairLevDPNs, rep.Kernel.BenchPairLevSpeedup,
+		rep.Kernel.BenchPairDamNs, rep.Kernel.BenchPairDamDPNs, rep.Kernel.BenchPairDamSpeedup)
+
+	// Phase 7: parallel learn — the same in-process Learn at Workers=1
+	// vs Workers=NumCPU. The model is byte-identical either way; only
+	// wall time may differ, and on a single-CPU host the speedup is
+	// honestly ~1.0.
+	if rep.LearnParallel, err = benchLearnParallelPhase(ds, cf.th); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "linkrules bench: learn-parallel %d links: 1 worker %.3fs, %d workers %.3fs (%.2fx)\n",
+		rep.LearnParallel.Links, rep.LearnParallel.SerialSeconds,
+		rep.LearnParallel.Workers, rep.LearnParallel.ParallelSeconds, rep.LearnParallel.Speedup)
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -288,6 +313,10 @@ type benchReport struct {
 	Link      benchLink   `json:"link"`
 	WAL       benchWAL    `json:"wal"`
 	Ingest    benchIngest `json:"ingest"`
+	// Kernel and LearnParallel were added with schema still at /1:
+	// additions are allowed, renames are not.
+	Kernel        benchKernel        `json:"kernel"`
+	LearnParallel benchLearnParallel `json:"learn_parallel"`
 }
 
 type benchCorpus struct {
@@ -342,6 +371,127 @@ type benchIngest struct {
 	BulkSeconds    float64 `json:"bulk_seconds"`
 	BulkPerSec     float64 `json:"bulk_items_per_sec"`
 	Speedup        float64 `json:"speedup"`
+}
+
+type benchKernel struct {
+	Pairs        int     `json:"pairs"`
+	Iters        int     `json:"iters"`
+	LevNsPerOp   float64 `json:"lev_ns_per_op"`
+	LevDPNsPerOp float64 `json:"lev_dp_ns_per_op"`
+	LevSpeedup   float64 `json:"lev_speedup"`
+	DamNsPerOp   float64 `json:"dam_ns_per_op"`
+	DamDPNsPerOp float64 `json:"dam_dp_ns_per_op"`
+	DamSpeedup   float64 `json:"dam_speedup"`
+	// BenchPair* measure the canonical 16-char part-number pair of
+	// BenchmarkLevenshtein/BenchmarkDamerau, so the report is directly
+	// comparable to the historical ns/op trajectory of those benchmarks
+	// (the corpus pairs above are shorter, which understates the
+	// quadratic DP's cost and therefore the kernel's speedup).
+	BenchPairLevNs      float64 `json:"bench_pair_lev_ns_per_op"`
+	BenchPairLevDPNs    float64 `json:"bench_pair_lev_dp_ns_per_op"`
+	BenchPairLevSpeedup float64 `json:"bench_pair_lev_speedup"`
+	BenchPairDamNs      float64 `json:"bench_pair_dam_ns_per_op"`
+	BenchPairDamDPNs    float64 `json:"bench_pair_dam_dp_ns_per_op"`
+	BenchPairDamSpeedup float64 `json:"bench_pair_dam_speedup"`
+}
+
+type benchLearnParallel struct {
+	Links           int     `json:"links"`
+	Workers         int     `json:"workers"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// kernelSink keeps the kernel loops observable so they cannot be
+// optimized away.
+var kernelSink int
+
+// benchKernelPhase times the dispatching edit-distance entry points
+// (bit-parallel for ASCII up to 64 chars, exactly what the link engine
+// calls) against the retained reference DP, over deterministic pairs of
+// real corpus values.
+func benchKernelPhase(specs []benchItem, smoke bool) benchKernel {
+	var vals []string
+	for _, s := range specs {
+		for _, vs := range s.Properties {
+			vals = append(vals, vs...)
+		}
+	}
+	sort.Strings(vals) // map-order independence
+	if len(vals) > 2000 {
+		vals = vals[:2000]
+	}
+	type pair struct{ a, b string }
+	pairs := make([]pair, len(vals))
+	for i, v := range vals {
+		pairs[i] = pair{v, vals[(i*31+7)%len(vals)]}
+	}
+	iters := 50
+	if smoke {
+		iters = 5
+	}
+	nsPerOp := func(fn func(a, b string) int) float64 {
+		sum := 0
+		t0 := time.Now()
+		for it := 0; it < iters; it++ {
+			for _, p := range pairs {
+				sum += fn(p.a, p.b)
+			}
+		}
+		sec := time.Since(t0).Seconds()
+		kernelSink += sum
+		return sec * 1e9 / float64(iters*len(pairs))
+	}
+	k := benchKernel{Pairs: len(pairs), Iters: iters}
+	k.LevNsPerOp = nsPerOp(similarity.LevenshteinDistance)
+	k.LevDPNsPerOp = nsPerOp(similarity.ReferenceLevenshteinDistance)
+	k.DamNsPerOp = nsPerOp(similarity.DamerauDistance)
+	k.DamDPNsPerOp = nsPerOp(similarity.ReferenceDamerauDistance)
+	if k.LevNsPerOp > 0 {
+		k.LevSpeedup = k.LevDPNsPerOp / k.LevNsPerOp
+	}
+	if k.DamNsPerOp > 0 {
+		k.DamSpeedup = k.DamDPNsPerOp / k.DamNsPerOp
+	}
+	pairs = []pair{{"CRCW0805-63V-ohm", "CRCW0812/63V/ohm"}}
+	iters *= 1000 // one pair instead of thousands: keep total ops comparable
+	k.BenchPairLevNs = nsPerOp(similarity.LevenshteinDistance)
+	k.BenchPairLevDPNs = nsPerOp(similarity.ReferenceLevenshteinDistance)
+	k.BenchPairDamNs = nsPerOp(similarity.DamerauDistance)
+	k.BenchPairDamDPNs = nsPerOp(similarity.ReferenceDamerauDistance)
+	if k.BenchPairLevNs > 0 {
+		k.BenchPairLevSpeedup = k.BenchPairLevDPNs / k.BenchPairLevNs
+	}
+	if k.BenchPairDamNs > 0 {
+		k.BenchPairDamSpeedup = k.BenchPairDamDPNs / k.BenchPairDamNs
+	}
+	return k
+}
+
+// benchLearnParallelPhase runs the in-process learner twice over the
+// generated corpus — serial, then with one worker per CPU — and reports
+// both wall times. Byte-identical models are a tested invariant, so
+// only the timing is recorded.
+func benchLearnParallelPhase(ds *datalink.Dataset, th float64) (benchLearnParallel, error) {
+	lp := benchLearnParallel{Links: ds.Training.Len(), Workers: runtime.NumCPU()}
+	run := func(workers int) (float64, error) {
+		cfg := datalink.LearnerConfig{SupportThreshold: th, Workers: workers}
+		t0 := time.Now()
+		_, err := datalink.LearnCtx(context.Background(), cfg, ds.Training, ds.External, ds.Local, ds.Ontology)
+		return time.Since(t0).Seconds(), err
+	}
+	var err error
+	if lp.SerialSeconds, err = run(1); err != nil {
+		return lp, fmt.Errorf("learn-parallel serial: %w", err)
+	}
+	if lp.ParallelSeconds, err = run(lp.Workers); err != nil {
+		return lp, fmt.Errorf("learn-parallel: %w", err)
+	}
+	if lp.ParallelSeconds > 0 {
+		lp.Speedup = lp.SerialSeconds / lp.ParallelSeconds
+	}
+	return lp, nil
 }
 
 // benchIngestPhase loads the same items twice — one item per POST

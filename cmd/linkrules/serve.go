@@ -56,6 +56,7 @@ func cmdServe(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	data := fs.String("data", "", "corpus directory from `linkrules datagen` (empty: generate from corpus flags)")
 	learn := fs.Bool("learn", true, "learn rules from the corpus training links at startup")
+	learnWorkers := fs.Int("learn-workers", 0, "goroutines for the learning passes (0: GOMAXPROCS); model is identical at any setting")
 	storeDir := fs.String("store", "", "durability directory (empty: ephemeral; existing state wins over corpus flags)")
 	fsyncMode := fs.String("fsync", "interval", "WAL fsync policy: never, interval or always")
 	snapEvery := fs.Int("snapshot-every", 1024, "mutations between automatic snapshots (<0 disables)")
@@ -88,7 +89,7 @@ func cmdServe(args []string) error {
 	// endpoint.
 	reg := obs.NewRegistry()
 	opts := service.Options{
-		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th},
+		Learner:       datalink.LearnerConfig{SupportThreshold: cf.th, Workers: *learnWorkers},
 		DefaultLinker: datalink.DefaultLinkingConfig(),
 		Resilience: service.ResilienceOptions{
 			MaxInFlight:    *maxInflight,
@@ -157,7 +158,9 @@ func cmdServe(args []string) error {
 			if cf.th != 0 {
 				fmt.Fprintf(os.Stderr, "linkrules serve: ignoring -th %g: the store's persisted learner config wins on recovery\n", cf.th)
 			}
-			opts.Learner = datalink.LearnerConfig{}
+			// Workers survives: it only affects learning wall time, never
+			// the model, so it cannot conflict with the persisted config.
+			opts.Learner = datalink.LearnerConfig{Workers: *learnWorkers}
 		}
 		if svc, err = service.Restore(st, rec, seed, opts); err != nil {
 			st.Close()

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ontology"
+	"repro/internal/par"
 	"repro/internal/rdf"
 	"repro/internal/segment"
 )
@@ -101,25 +103,43 @@ func (m *Model) Extend(newLinks []Link, se, sl *rdf.Graph, ol *ontology.Ontology
 		added++
 	}
 
-	return rebuildFromIndex(cfg, props, idx, segStats)
+	return rebuildFromIndex(context.Background(), cfg, props, idx, segStats)
+}
+
+// mergeCounts folds the right counting map into the left, the merge step
+// of the parallel counting passes. Addition commutes, so the merged map
+// equals the serial count at every worker count.
+func mergeCounts[K comparable](a, b map[K]int) map[K]int {
+	for k, n := range b {
+		a[k] += n
+	}
+	return a
 }
 
 // rebuildFromIndex reruns the counting passes of Algorithm 1 over an
 // existing index. Shared by Learn (via the initial build) and Extend.
-func rebuildFromIndex(cfg LearnerConfig, props []rdf.Term, idx *tsIndex, segStats *segment.Stats) (*Model, error) {
+// The two O(|TS| x segments) counting passes fan out over cfg.Workers
+// via par.ReduceChunks with per-chunk count maps merged in chunk order.
+func rebuildFromIndex(ctx context.Context, cfg LearnerConfig, props []rdf.Term, idx *tsIndex, segStats *segment.Stats) (*Model, error) {
 	n := len(idx.facts)
 	if n == 0 {
 		return nil, ErrEmptyTrainingSet
 	}
 	minCount := cfg.SupportThreshold * float64(n)
 
-	premiseCount := map[propertySegment]int{}
-	for _, lf := range idx.facts {
-		for p, set := range lf.segs {
-			for a := range set {
-				premiseCount[propertySegment{p, a}]++
+	premiseCount, err := par.ReduceChunks(ctx, cfg.Workers, 0, idx.facts,
+		func() map[propertySegment]int { return map[propertySegment]int{} },
+		func(acc map[propertySegment]int, lf linkFacts) map[propertySegment]int {
+			for p, set := range lf.segs {
+				for a := range set {
+					acc[propertySegment{p, a}]++
+				}
 			}
-		}
+			return acc
+		},
+		mergeCounts[propertySegment])
+	if err != nil {
+		return nil, err
 	}
 	frequentPremise := map[propertySegment]int{}
 	selectedSegments := map[string]struct{}{}
@@ -135,26 +155,30 @@ func rebuildFromIndex(cfg LearnerConfig, props []rdf.Term, idx *tsIndex, segStat
 			frequentClass[c] = cnt
 		}
 	}
-	type conjunction struct {
-		ps propertySegment
-		c  rdf.Term
-	}
-	jointCount := map[conjunction]int{}
-	for _, lf := range idx.facts {
-		for p, set := range lf.segs {
-			for a := range set {
-				ps := propertySegment{p, a}
-				if _, ok := frequentPremise[ps]; !ok {
-					continue
-				}
-				for _, c := range lf.classes {
-					if _, ok := frequentClass[c]; !ok {
+	// frequentPremise and frequentClass are complete and read-only from
+	// here on, so the conjunction pass can share them across workers.
+	jointCount, err := par.ReduceChunks(ctx, cfg.Workers, 0, idx.facts,
+		func() map[conjunction]int { return map[conjunction]int{} },
+		func(acc map[conjunction]int, lf linkFacts) map[conjunction]int {
+			for p, set := range lf.segs {
+				for a := range set {
+					ps := propertySegment{p, a}
+					if _, ok := frequentPremise[ps]; !ok {
 						continue
 					}
-					jointCount[conjunction{ps, c}]++
+					for _, c := range lf.classes {
+						if _, ok := frequentClass[c]; !ok {
+							continue
+						}
+						acc[conjunction{ps, c}]++
+					}
 				}
 			}
-		}
+			return acc
+		},
+		mergeCounts[conjunction])
+	if err != nil {
+		return nil, err
 	}
 	rules := RuleSet{}
 	classesWithRules := map[rdf.Term]struct{}{}

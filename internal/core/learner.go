@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/ontology"
+	"repro/internal/par"
 	"repro/internal/rdf"
 	"repro/internal/segment"
 )
@@ -22,6 +24,12 @@ type LearnerConfig struct {
 	Splitter segment.Splitter
 	// SupportThreshold is th, as a fraction of |TS|; 0 means 0.002.
 	SupportThreshold float64
+	// Workers caps the goroutines used by the learning passes; 0 means
+	// GOMAXPROCS. Purely a wall-time knob: the learned model is
+	// byte-identical at every setting, so Workers is NOT part of the
+	// learner identity persisted with snapshots (see service durable
+	// metadata) and changing it never invalidates a recovered model.
+	Workers int
 }
 
 func (cfg LearnerConfig) withDefaults() LearnerConfig {
@@ -99,10 +107,25 @@ type propertySegment struct {
 	segment  string
 }
 
+// conjunction is a (premise atom, conclusion class) pair, the key of the
+// joint-frequency count behind rule emission.
+type conjunction struct {
+	ps propertySegment
+	c  rdf.Term
+}
+
 // Learn runs Algorithm 1 over the training set: se supplies the property
 // facts of the external items, sl the rdf:type facts of the local items,
 // ol the ontology used to reduce types to most-specific classes.
 func Learn(cfg LearnerConfig, ts TrainingSet, se, sl *rdf.Graph, ol *ontology.Ontology) (*Model, error) {
+	return LearnCtx(context.Background(), cfg, ts, se, sl, ol)
+}
+
+// LearnCtx is Learn with cancellation: the per-link splitting pass and
+// the counting passes fan out over cfg.Workers goroutines and observe
+// ctx between work chunks. On cancellation LearnCtx returns ctx's error
+// and no model — never a partially-counted one.
+func LearnCtx(ctx context.Context, cfg LearnerConfig, ts TrainingSet, se, sl *rdf.Graph, ol *ontology.Ontology) (*Model, error) {
 	cfg = cfg.withDefaults()
 	ts = ts.Dedup()
 	if ts.Len() == 0 {
@@ -123,13 +146,26 @@ func Learn(cfg LearnerConfig, ts TrainingSet, se, sl *rdf.Graph, ol *ontology.On
 		return nil, fmt.Errorf("core: no literal-valued properties found for training externals")
 	}
 
+	// The ontology memoizes its transitive closure on first query without
+	// locking; force that build before fanning out so the workers only
+	// ever read it.
+	if ol != nil {
+		ol.MostSpecific(nil)
+	}
+
 	// Pass 1 (Algorithm 1, first loop): split every property value of
 	// every external item into segments, recording per-link segment sets
-	// and corpus occurrence statistics.
-	idx := &tsIndex{classOf: map[rdf.Term]int{}}
-	segStats := segment.NewStats()
-	for _, link := range ts.Links {
-		lf := linkFacts{link: link, segs: map[rdf.Term]map[string]struct{}{}}
+	// and corpus occurrence statistics. The per-link work — graph reads,
+	// splitting, set building — fans out over workers; the ordered result
+	// slices are then replayed serially into the corpus-level counters,
+	// so the index and statistics are byte-identical at every worker
+	// count.
+	type pass1 struct {
+		lf       linkFacts
+		segLists [][]string
+	}
+	perLink, err := par.MapChunks(ctx, cfg.Workers, 0, ts.Links, func(link Link) (pass1, bool) {
+		r := pass1{lf: linkFacts{link: link, segs: map[rdf.Term]map[string]struct{}{}}}
 		for _, p := range props {
 			for _, v := range se.Objects(link.External, p) {
 				if !v.IsLiteral() {
@@ -139,27 +175,38 @@ func Learn(cfg LearnerConfig, ts TrainingSet, se, sl *rdf.Graph, ol *ontology.On
 				if len(segs) == 0 {
 					continue
 				}
-				segStats.ObserveSegments(segs)
-				set := lf.segs[p]
+				r.segLists = append(r.segLists, segs)
+				set := r.lf.segs[p]
 				if set == nil {
 					set = map[string]struct{}{}
-					lf.segs[p] = set
+					r.lf.segs[p] = set
 				}
 				for _, a := range segs {
 					set[a] = struct{}{}
 				}
 			}
 		}
-		lf.classes = mostSpecificClasses(link.Local, sl, ol)
-		for _, c := range lf.classes {
+		r.lf.classes = mostSpecificClasses(link.Local, sl, ol)
+		return r, true
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := &tsIndex{facts: make([]linkFacts, 0, len(perLink)), classOf: map[rdf.Term]int{}}
+	segStats := segment.NewStats()
+	for _, r := range perLink {
+		for _, segs := range r.segLists {
+			segStats.ObserveSegments(segs)
+		}
+		for _, c := range r.lf.classes {
 			idx.classOf[c]++
 		}
-		idx.facts = append(idx.facts, lf)
+		idx.facts = append(idx.facts, r.lf)
 	}
 
 	// Passes 2-5 (premise, class and conjunction frequencies, rule
 	// emission) are shared with the incremental path.
-	return rebuildFromIndex(cfg, props, idx, segStats)
+	return rebuildFromIndex(ctx, cfg, props, idx, segStats)
 }
 
 // discoverProperties returns every predicate of SE that carries a literal

@@ -41,12 +41,17 @@ func (e *Engine) Upsert(side Side, items ...rdf.Term) {
 		c := &st.comps[ci]
 		m, prop := c.sideIndex(side)
 		for _, item := range items {
-			vals := itemValues(g, item, prop, c.tokens != nil, c.tokenSets != nil)
+			// Acquire the new values before releasing the old ones, so a
+			// value present in both keeps its cache entry warm instead of
+			// being dropped and rebuilt.
+			vals := itemValues(g, item, prop, st.cache, c.slot)
+			old := m[item]
 			if len(vals) == 0 {
 				delete(m, item)
 			} else {
 				m[item] = vals
 			}
+			st.cache.release(old)
 		}
 	}
 	st.syncVersion(side)
@@ -68,6 +73,7 @@ func (e *Engine) Remove(side Side, items ...rdf.Term) {
 		c := &st.comps[ci]
 		m, _ := c.sideIndex(side)
 		for _, item := range items {
+			st.cache.release(m[item])
 			delete(m, item)
 		}
 	}
@@ -102,15 +108,18 @@ func (e *Engine) ApplyPatches(patches []IndexPatch) {
 			m, prop := c.sideIndex(p.Side)
 			for _, item := range p.Items {
 				if p.Remove {
+					st.cache.release(m[item])
 					delete(m, item)
 					continue
 				}
-				vals := itemValues(g, item, prop, c.tokens != nil, c.tokenSets != nil)
+				vals := itemValues(g, item, prop, st.cache, c.slot)
+				old := m[item]
 				if len(vals) == 0 {
 					delete(m, item)
 				} else {
 					m[item] = vals
 				}
+				st.cache.release(old)
 			}
 		}
 		touched[p.Side] = true

@@ -2,23 +2,19 @@ package linkage
 
 import (
 	"sort"
-	"unicode/utf8"
 
 	"repro/internal/rdf"
 	"repro/internal/similarity"
 )
 
 // indexedValue is one literal value of an item under a comparator
-// property, with everything the hot comparison loop needs precomputed:
-// the lexical form, its rune length (for length-bound early exits) and,
-// when the comparator's measure is token-based, the token list.
+// property: the lexical form plus a pointer into the engine's shared
+// value cache, where everything the hot comparison loop needs (rune
+// length, token list, token set, prepared pattern) is derived once per
+// distinct value string and shared across comparators and sides.
 type indexedValue struct {
-	value   string
-	runeLen int
-	tokens  []string
-	// tokenSet is additionally prebuilt for set-based measures (Jaccard),
-	// which would otherwise construct two maps per pair comparison.
-	tokenSet map[string]struct{}
+	value string
+	entry *cacheEntry
 }
 
 // compiledComparator is one configured comparator with its measure
@@ -29,6 +25,9 @@ type indexedValue struct {
 type compiledComparator struct {
 	weight  float64
 	measure similarity.Measure
+	// slot is this comparator's index in the engine's comparator list,
+	// addressing its prepared patterns in the shared value cache.
+	slot int
 	// extProp and locProp are the configured property terms, kept for
 	// incremental re-indexing.
 	extProp rdf.Term
@@ -43,8 +42,13 @@ type compiledComparator struct {
 	// tokenSets is non-nil when the measure scores prebuilt token sets;
 	// preferred over tokens in the hot loop.
 	tokenSets similarity.TokenSetScored
-	ext       map[rdf.Term][]indexedValue
-	loc       map[rdf.Term][]indexedValue
+	// prepared is non-nil when the measure can precompile one side of a
+	// comparison (Myers pattern bitmaps, TF-IDF vectors); the engine then
+	// prepares each distinct value once and the hot loop scores prepared
+	// against prepared — the fastest path of all.
+	prepared similarity.PreparedMeasure
+	ext      map[rdf.Term][]indexedValue
+	loc      map[rdf.Term][]indexedValue
 }
 
 // sideIndex returns the comparator's value map and property for one side.
@@ -55,13 +59,16 @@ func (cc *compiledComparator) sideIndex(side Side) (map[rdf.Term][]indexedValue,
 	return cc.loc, cc.locProp
 }
 
-// compileComparators materializes the value index for every comparator.
-func compileComparators(cfg Config, se, sl *rdf.Graph) []compiledComparator {
+// compileComparators resolves every comparator's measure capabilities,
+// builds the shared value cache from their union, and materializes the
+// per-comparator value indexes through it.
+func compileComparators(cfg Config, se, sl *rdf.Graph) ([]compiledComparator, *valueCache) {
 	comps := make([]compiledComparator, len(cfg.Comparators))
 	for i, cmp := range cfg.Comparators {
 		cc := compiledComparator{
 			weight:  cmp.Weight,
 			measure: cmp.Measure,
+			slot:    i,
 			extProp: cmp.ExternalProperty,
 			locProp: cmp.LocalProperty,
 		}
@@ -72,18 +79,22 @@ func compileComparators(cfg Config, se, sl *rdf.Graph) []compiledComparator {
 			// must be Tokenized for the set path to have data.
 			cc.tokenSets, _ = cmp.Measure.(similarity.TokenSetScored)
 		}
-		cc.ext = buildValueIndex(se, cmp.ExternalProperty, cc.tokens != nil, cc.tokenSets != nil)
-		cc.loc = buildValueIndex(sl, cmp.LocalProperty, cc.tokens != nil, cc.tokenSets != nil)
+		cc.prepared, _ = cmp.Measure.(similarity.PreparedMeasure)
 		comps[i] = cc
 	}
-	return comps
+	cache := newValueCache(comps)
+	for i := range comps {
+		comps[i].ext = buildValueIndex(se, comps[i].extProp, cache, i)
+		comps[i].loc = buildValueIndex(sl, comps[i].locProp, cache, i)
+	}
+	return comps, cache
 }
 
 // buildValueIndex collects every item's literal values under prop in one
 // pass over the graph's predicate index. Values are ordered by
 // rdf.Term.Compare, matching what Graph.Objects used to return, so the
 // indexed engine is observationally identical to the graph-walking one.
-func buildValueIndex(g *rdf.Graph, prop rdf.Term, tokenize, buildSets bool) map[rdf.Term][]indexedValue {
+func buildValueIndex(g *rdf.Graph, prop rdf.Term, cache *valueCache, slot int) map[rdf.Term][]indexedValue {
 	byItem := map[rdf.Term][]rdf.Term{}
 	if g != nil {
 		g.Match(rdf.Term{}, prop, rdf.Term{}, func(t rdf.Triple) bool {
@@ -95,7 +106,7 @@ func buildValueIndex(g *rdf.Graph, prop rdf.Term, tokenize, buildSets bool) map[
 	}
 	out := make(map[rdf.Term][]indexedValue, len(byItem))
 	for item, objs := range byItem {
-		out[item] = compileValues(objs, tokenize, buildSets)
+		out[item] = compileValues(objs, cache, slot)
 	}
 	return out
 }
@@ -103,7 +114,7 @@ func buildValueIndex(g *rdf.Graph, prop rdf.Term, tokenize, buildSets bool) map[
 // itemValues re-reads one item's literal values under prop, producing the
 // same indexed representation buildValueIndex would — the unit of work of
 // an incremental Upsert.
-func itemValues(g *rdf.Graph, item, prop rdf.Term, tokenize, buildSets bool) []indexedValue {
+func itemValues(g *rdf.Graph, item, prop rdf.Term, cache *valueCache, slot int) []indexedValue {
 	var objs []rdf.Term
 	if g != nil {
 		g.Match(item, prop, rdf.Term{}, func(t rdf.Triple) bool {
@@ -116,25 +127,16 @@ func itemValues(g *rdf.Graph, item, prop rdf.Term, tokenize, buildSets bool) []i
 	if len(objs) == 0 {
 		return nil
 	}
-	return compileValues(objs, tokenize, buildSets)
+	return compileValues(objs, cache, slot)
 }
 
-// compileValues sorts the raw value terms and precomputes rune lengths,
-// token lists and token sets as the comparator's measure requires.
-func compileValues(objs []rdf.Term, tokenize, buildSets bool) []indexedValue {
+// compileValues sorts the raw value terms and resolves each against the
+// shared cache, taking one reference per indexed value.
+func compileValues(objs []rdf.Term, cache *valueCache, slot int) []indexedValue {
 	sort.Slice(objs, func(i, j int) bool { return objs[i].Compare(objs[j]) < 0 })
 	vals := make([]indexedValue, len(objs))
 	for i, o := range objs {
-		vals[i] = indexedValue{value: o.Value, runeLen: utf8.RuneCountInString(o.Value)}
-		if tokenize {
-			vals[i].tokens = similarity.Tokenize(o.Value)
-			if buildSets {
-				vals[i].tokenSet = make(map[string]struct{}, len(vals[i].tokens))
-				for _, tok := range vals[i].tokens {
-					vals[i].tokenSet[tok] = struct{}{}
-				}
-			}
-		}
+		vals[i] = indexedValue{value: o.Value, entry: cache.acquire(o.Value, slot)}
 	}
 	return vals
 }

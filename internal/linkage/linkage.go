@@ -14,13 +14,20 @@
 // around two ideas:
 //
 //   - Value index. New snapshots each comparator's property values out of
-//     the RDF graphs into flat per-item slices (internal/linkage/index.go),
-//     precomputing rune lengths and — for token-based measures — token
-//     lists. Score therefore never touches rdf.Graph: a pair costs two map
-//     lookups plus the measure calls, and length-bounded measures
-//     (Levenshtein, Damerau) skip value pairs whose length difference
-//     already rules out beating the current best. The index is a snapshot:
-//     graph mutations after New are not observed.
+//     the RDF graphs into flat per-item slices (internal/linkage/index.go).
+//     Per-value derivations — rune lengths, token lists and token sets for
+//     token-based measures, precompiled patterns for PreparedMeasures
+//     (Myers bitmaps for the edit distances, TF-IDF weight vectors) — live
+//     in a shared per-engine cache (internal/linkage/cache.go) keyed by the
+//     distinct value string, so a value appearing under several comparators
+//     or on both sides is derived once. Score therefore never touches
+//     rdf.Graph: a pair costs two map lookups plus the measure calls,
+//     length-bounded measures (the edit distances and the Jaro family) skip
+//     value pairs whose length difference already rules out beating the
+//     current best, and prepared measures score precompiled pattern against
+//     precompiled pattern. The index is a snapshot: graph mutations after
+//     New are not observed, and the incremental paths keep the cache
+//     reference-counted so it stays exactly as large as the live index.
 //
 //   - Parallel scoring. ScorePairs and LinkBest fan work out across
 //     Config.Workers goroutines (default: all cores) using the chunked
@@ -134,6 +141,10 @@ type Engine struct {
 type engineState struct {
 	mu    sync.RWMutex
 	comps []compiledComparator
+	// cache is the shared per-value derivation cache the comparator
+	// indexes point into; writers keep it reference-counted through the
+	// same lock that guards the indexes.
+	cache *valueCache
 	// totalWeight is the constant score denominator: every comparator
 	// keeps its weight whether or not values are present.
 	totalWeight float64
@@ -150,8 +161,10 @@ func New(cfg Config, se, sl *rdf.Graph) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	comps, cache := compileComparators(cfg, se, sl)
 	st := &engineState{
-		comps:  compileComparators(cfg, se, sl),
+		comps:  comps,
+		cache:  cache,
 		se:     se,
 		sl:     sl,
 		extVer: graphVersion(se),
@@ -214,9 +227,9 @@ func (st *engineState) score(ext, loc rdf.Term) float64 {
 		}
 		best := 0.0
 		for vi := range evs {
-			ev := &evs[vi]
+			ev := evs[vi].entry
 			for vj := range lvs {
-				lv := &lvs[vj]
+				lv := lvs[vj].entry
 				// A value pair whose length bound cannot beat the current
 				// best is settled without running the measure.
 				if c.bounded != nil && c.bounded.SimilarityUpperBound(ev.runeLen, lv.runeLen) <= best {
@@ -224,12 +237,16 @@ func (st *engineState) score(ext, loc rdf.Term) float64 {
 				}
 				var s float64
 				switch {
+				case c.prepared != nil:
+					// Every value indexed under this comparator was acquired
+					// with its slot, so both sides' patterns exist.
+					s = ev.prepared[c.slot].SimilarityPrepared(lv.prepared[c.slot])
 				case c.tokenSets != nil:
 					s = c.tokenSets.SimilarityTokenSets(ev.tokenSet, lv.tokenSet)
 				case c.tokens != nil:
 					s = c.tokens.SimilarityTokens(ev.tokens, lv.tokens)
 				default:
-					s = c.measure.Similarity(ev.value, lv.value)
+					s = c.measure.Similarity(evs[vi].value, lvs[vj].value)
 				}
 				if s > best {
 					best = s

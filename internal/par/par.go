@@ -120,3 +120,80 @@ func MapChunks[T, R any](ctx context.Context, workers, chunk int, items []T, fn 
 	}
 	return out, nil
 }
+
+// ReduceChunks folds items into per-chunk accumulators in parallel and
+// merges the accumulators in chunk order: newAcc creates an empty
+// accumulator, fold absorbs one item and returns the (possibly
+// replaced) accumulator, merge absorbs the right accumulator into the
+// left and returns the result. Because chunks cover the input in order
+// and the merge runs left-to-right over the chunk sequence, any fold
+// whose merge is associative over ordered chunks produces exactly the
+// serial fold's result — and commutative reductions (counting maps,
+// sums) are deterministic at every worker count by construction.
+//
+// Cancellation follows MapChunks: when ctx is cancelled mid-run,
+// claimed chunks finish, the rest are skipped, and ctx.Err() is
+// returned with the zero accumulator.
+func ReduceChunks[T, A any](ctx context.Context, workers, chunk int, items []T, newAcc func() A, fold func(A, T) A, merge func(A, A) A) (A, error) {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	workers = Workers(workers)
+	if workers == 1 || len(items) <= chunk {
+		acc := newAcc()
+		for i, it := range items {
+			if ctx != nil && i%chunk == 0 {
+				if err := ctx.Err(); err != nil {
+					var zero A
+					return zero, err
+				}
+			}
+			acc = fold(acc, it)
+		}
+		return acc, nil
+	}
+	nChunks := (len(items) + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = nChunks
+	}
+	accs := make([]A, nChunks)
+	var cursor atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx != nil && ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				c := int(cursor.Add(1)) - 1
+				if c >= nChunks {
+					return
+				}
+				lo := c * chunk
+				hi := lo + chunk
+				if hi > len(items) {
+					hi = len(items)
+				}
+				acc := newAcc()
+				for _, it := range items[lo:hi] {
+					acc = fold(acc, it)
+				}
+				accs[c] = acc
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		var zero A
+		return zero, ctx.Err()
+	}
+	out := accs[0]
+	for c := 1; c < nChunks; c++ {
+		out = merge(out, accs[c])
+	}
+	return out, nil
+}

@@ -96,6 +96,91 @@ func TestMapChunksCancellation(t *testing.T) {
 	}
 }
 
+// TestReduceChunksDeterminism pins that a commutative reduction (count
+// by key) merged in chunk order equals the serial fold at every worker
+// count.
+func TestReduceChunksDeterminism(t *testing.T) {
+	items := make([]int, 1200)
+	for i := range items {
+		items[i] = i % 37
+	}
+	newAcc := func() map[int]int { return map[int]int{} }
+	fold := func(a map[int]int, v int) map[int]int { a[v]++; return a }
+	merge := func(a, b map[int]int) map[int]int {
+		for k, n := range b {
+			a[k] += n
+		}
+		return a
+	}
+	want, err := ReduceChunks(context.Background(), 1, 16, items, newAcc, fold, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want[0] == 0 {
+		t.Fatal("serial fold produced an empty accumulator")
+	}
+	for _, workers := range []int{0, 2, 3, 7, 16, 100} {
+		got, err := ReduceChunks(context.Background(), workers, 16, items, newAcc, fold, merge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d accumulator differs from serial", workers)
+		}
+	}
+}
+
+// TestReduceChunksOrderedMerge uses a non-commutative merge (slice
+// concatenation) to prove accumulators are merged strictly in chunk
+// order, i.e. the parallel reduce preserves input order end to end.
+func TestReduceChunksOrderedMerge(t *testing.T) {
+	items := make([]int, 500)
+	for i := range items {
+		items[i] = i
+	}
+	newAcc := func() []int { return nil }
+	fold := func(a []int, v int) []int { return append(a, v) }
+	merge := func(a, b []int) []int { return append(a, b...) }
+	got, err := ReduceChunks(context.Background(), 8, 16, items, newAcc, fold, merge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, items) {
+		t.Fatalf("merged order differs from input order")
+	}
+}
+
+// TestReduceChunksCancellation asserts a cancelled context aborts the
+// reduce with ctx.Err() and the zero accumulator on both paths.
+func TestReduceChunksCancellation(t *testing.T) {
+	items := make([]int, 10000)
+	var calls atomic.Int64
+	run := func(workers int) {
+		t.Helper()
+		calls.Store(0)
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		fold := func(a int, v int) int {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			return a + 1
+		}
+		got, err := ReduceChunks(ctx, workers, 8, items, func() int { return 0 }, fold, func(a, b int) int { return a + b })
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got != 0 {
+			t.Fatalf("workers=%d: got %d, want zero accumulator after cancellation", workers, got)
+		}
+		if n := calls.Load(); n >= int64(len(items)) {
+			t.Fatalf("workers=%d: all %d items folded despite cancellation", workers, n)
+		}
+	}
+	run(4)
+	run(1)
+}
+
 // TestWorkers pins the resolution rule.
 func TestWorkers(t *testing.T) {
 	if Workers(3) != 3 {

@@ -96,8 +96,12 @@ func Restore(st *store.Store, rec *store.Recovery, seed *Seed, opts Options) (*S
 		// No learner configured by the caller: adopt the persisted one,
 		// so the boot relearn (and every tail-replayed learn record)
 		// reproduces the dead process's model instead of silently
-		// relearning with this process's defaults.
+		// relearning with this process's defaults. Workers is a pure
+		// wall-time knob — excluded from the persisted identity and from
+		// zeroLearner — so the caller's setting survives adoption.
+		workers := opts.Learner.Workers
 		opts.Learner = learnerFromMeta(snap.Meta.Learner)
+		opts.Learner.Workers = workers
 	}
 	if len(opts.DefaultLinker.Comparators) == 0 && snap.Meta.Linker != nil {
 		// No linker configured by the caller: adopt the one persisted with
@@ -562,6 +566,8 @@ func sameLinks(a, b []datalink.Link) bool {
 
 // zeroLearner reports whether the caller left the learner config at its
 // zero value (which means "adopt the persisted one" on recovery).
+// Workers is deliberately ignored: it only changes wall time, never the
+// learned model, so setting it alone must not block adoption.
 func zeroLearner(cfg datalink.LearnerConfig) bool {
 	return len(cfg.Properties) == 0 && cfg.Splitter == nil && cfg.SupportThreshold == 0
 }

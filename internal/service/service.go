@@ -290,7 +290,7 @@ func (s *Service) learnLocked(ctx context.Context) error {
 func (s *Service) learnBasisLocked(ctx context.Context, b *learnBasis) error {
 	done := s.timeStage(ctx, "learn")
 	ts := datalink.TrainingSet{Links: append([]datalink.Link(nil), b.links...)}
-	m, err := datalink.Learn(s.opts.Learner, ts, b.se, b.sl, s.ol)
+	m, err := datalink.LearnCtx(ctx, s.opts.Learner, ts, b.se, b.sl, s.ol)
 	if err != nil {
 		return err
 	}

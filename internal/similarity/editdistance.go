@@ -49,8 +49,10 @@ func LevenshteinDistance(a, b string) int {
 	return levRunes([]rune(a), []rune(b))
 }
 
-// levASCII is the single-row DP over raw bytes, valid when both inputs
-// are pure ASCII.
+// levASCII computes the distance between two pure-ASCII strings: Myers'
+// bit-parallel kernel when either side fits in one machine word (the
+// shorter side becomes the pattern — the distance is symmetric), the
+// single-row DP otherwise.
 func levASCII(a, b string) int {
 	if len(a) == 0 {
 		return len(b)
@@ -58,6 +60,18 @@ func levASCII(a, b string) int {
 	if len(b) == 0 {
 		return len(a)
 	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	if len(a) <= 64 {
+		return myersLev(a, b)
+	}
+	return levASCIIDP(a, b)
+}
+
+// levASCIIDP is the single-row DP over raw bytes, the fallback for
+// patterns longer than one machine word.
+func levASCIIDP(a, b string) int {
 	rp := getRow(len(b) + 1)
 	defer putRow(rp)
 	row := *rp
@@ -153,15 +167,29 @@ func DamerauDistance(a, b string) int {
 	return damRunes([]rune(a), []rune(b))
 }
 
-// damASCII is the three-row OSA DP over raw bytes.
+// damASCII computes the optimal-string-alignment distance between two
+// pure-ASCII strings, dispatching like levASCII (OSA is symmetric, so
+// the shorter side can always be the bit-parallel pattern).
 func damASCII(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	if len(a) <= 64 {
+		return myersDam(a, b)
+	}
+	return damASCIIDP(a, b)
+}
+
+// damASCIIDP is the three-row OSA DP over raw bytes, the fallback for
+// patterns longer than one machine word.
+func damASCIIDP(a, b string) int {
 	la, lb := len(a), len(b)
-	if la == 0 {
-		return lb
-	}
-	if lb == 0 {
-		return la
-	}
 	p2, p1, cp := getRow(lb+1), getRow(lb+1), getRow(lb+1)
 	defer putRow(p2)
 	defer putRow(p1)
@@ -221,6 +249,20 @@ func damRunes(ra, rb []rune) int {
 		prev2, prev1, cur = prev1, cur, prev2
 	}
 	return prev1[lb]
+}
+
+// ReferenceLevenshteinDistance runs the plain rune-path DP regardless of
+// input shape. It is the oracle the bit-parallel kernels are fuzzed
+// against and the baseline `linkrules bench` reports kernel speedups
+// relative to; production callers should use LevenshteinDistance.
+func ReferenceLevenshteinDistance(a, b string) int {
+	return levRunes([]rune(a), []rune(b))
+}
+
+// ReferenceDamerauDistance is ReferenceLevenshteinDistance for the
+// optimal-string-alignment distance.
+func ReferenceDamerauDistance(a, b string) int {
+	return damRunes([]rune(a), []rune(b))
 }
 
 // Damerau is the transposition-aware edit similarity.

@@ -10,6 +10,21 @@ func (Jaro) Similarity(a, b string) float64 { return jaro([]rune(a), []rune(b)) 
 // Name implements Measure.
 func (Jaro) Name() string { return "jaro" }
 
+// SimilarityUpperBound implements LengthBounded: with m matches bounded
+// by min(la, lb) and transpositions at least 0, the Jaro similarity is
+// at most (m/la + m/lb + 1)/3 = (min/max + 2)/3. The engine uses it to
+// settle value pairs whose lengths already rule out beating the current
+// best without running the O(la·lb) match scan.
+func (Jaro) SimilarityUpperBound(la, lb int) float64 {
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	return (float64(minInt(la, lb))/float64(maxInt(la, lb)) + 2) / 3
+}
+
 func jaro(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
@@ -101,3 +116,33 @@ func (jw JaroWinkler) Similarity(a, b string) float64 {
 
 // Name implements Measure.
 func (JaroWinkler) Name() string { return "jaro-winkler" }
+
+// SimilarityUpperBound implements LengthBounded. The Winkler score
+// base + boost·(1-base) is monotone in both the Jaro base and the
+// prefix boost (boost <= 1), so plugging in Jaro's length bound and the
+// maximum possible shared prefix min(la, lb, maxPrefix) never
+// underestimates.
+func (jw JaroWinkler) SimilarityUpperBound(la, lb int) float64 {
+	base := Jaro{}.SimilarityUpperBound(la, lb)
+	scale := jw.PrefixScale
+	if scale == 0 {
+		scale = 0.1
+	}
+	if scale < 0 {
+		// A negative boost only lowers the score, so the Jaro bound
+		// alone (scale 0) stays a valid upper bound.
+		scale = 0
+	}
+	if scale > 0.25 {
+		scale = 0.25
+	}
+	maxPrefix := jw.MaxPrefix
+	if maxPrefix == 0 {
+		maxPrefix = 4
+	}
+	boost := float64(minInt(maxPrefix, minInt(la, lb))) * scale
+	if boost > 1 {
+		boost = 1
+	}
+	return base + boost*(1-base)
+}

@@ -56,6 +56,32 @@ type TokenSetScored interface {
 	SimilarityTokenSets(a, b map[string]struct{}) float64
 }
 
+// Prepared is one side of a comparison precompiled by a PreparedMeasure:
+// whatever per-value work the measure can hoist out of the pairwise loop
+// (Myers pattern bitmaps, TF-IDF weight vectors) done once. A Prepared
+// value is immutable and safe for concurrent use.
+type Prepared interface {
+	// Similarity scores the prepared left-hand value against b. Must
+	// equal the owning measure's Similarity(a, b) exactly.
+	Similarity(b string) float64
+	// SimilarityPrepared scores against another Prepared of the same
+	// measure, letting both sides' precomputation pay off. o must
+	// originate from the same measure's Prepare; handing it a foreign
+	// Prepared is a programming error (implementations score it 0).
+	SimilarityPrepared(o Prepared) float64
+}
+
+// PreparedMeasure is implemented by measures that can precompile one
+// side of a comparison. Callers that score the same values many times
+// (the linkage engine's value index) prepare each distinct value once
+// and reuse it across every pair it appears in. Implementations must
+// satisfy Prepare(a).Similarity(b) == Similarity(a, b) for all a, b.
+type PreparedMeasure interface {
+	Measure
+	// Prepare precompiles a as the left-hand side of future comparisons.
+	Prepare(a string) Prepared
+}
+
 // Func adapts a plain function to the Measure interface.
 type Func struct {
 	F  func(a, b string) float64

@@ -1,0 +1,115 @@
+package similarity
+
+// Myers' bit-parallel edit distance (Myers 1999, in the distance
+// formulation of Hyyrö 2001/2002). The dynamic-programming column is
+// encoded as two bit vectors — Pv marks rows whose value increased from
+// the row above, Mv rows whose value decreased — and one text character
+// advances the entire column in a handful of word-wide boolean
+// operations. For patterns up to 64 characters that replaces the O(m)
+// inner DP loop with O(1) branch-free word arithmetic: one pair costs
+// O(n) word operations instead of O(m·n) integer compares.
+//
+// The kernels below operate on raw bytes and therefore apply only when
+// both inputs are pure ASCII (the common case for the part numbers,
+// identifiers and names this system links). The rune-path DP in
+// editdistance.go remains the fallback for non-ASCII input and for
+// patterns longer than 64 characters, and doubles as the reference
+// oracle the fuzz tests compare against.
+
+// peqTable is the pattern-match bitmap of one ASCII pattern: bit i of
+// peq[c] is set when pattern[i] == c. Building it costs O(m) after a
+// 2 KiB clear; scoring reuses it for every text character, which is why
+// prepared patterns (see PreparedMeasure) hold one persistently.
+type peqTable [256]uint64
+
+// buildPeq fills peq with the match bitmap of pattern a (ASCII,
+// 1 <= len(a) <= 64). The table must be zeroed beforehand.
+func buildPeq(peq *peqTable, a string) {
+	for i := 0; i < len(a); i++ {
+		peq[a[i]] |= 1 << uint(i)
+	}
+}
+
+// myersLevPeq returns the Levenshtein distance between the pattern
+// described by peq (length m, 1 <= m <= 64) and an ASCII text b of any
+// length.
+func myersLevPeq(peq *peqTable, m int, b string) int {
+	pv := ^uint64(0)
+	mv := uint64(0)
+	score := m
+	last := uint64(1) << uint(m-1)
+	for i := 0; i < len(b); i++ {
+		eq := peq[b[i]]
+		// d0 marks rows whose value equals the previous column's value
+		// above-left (match or carry chain); hp/hn are the horizontal
+		// +1/-1 deltas, fed back vertically after shifting down one row.
+		d0 := (((eq & pv) + pv) ^ pv) | eq | mv
+		hp := mv | ^(d0 | pv)
+		hn := pv & d0
+		if hp&last != 0 {
+			score++
+		}
+		if hn&last != 0 {
+			score--
+		}
+		hp = hp<<1 | 1 // row 0 of the next column costs one more insertion
+		hn <<= 1
+		pv = hn | ^(d0 | hp)
+		mv = hp & d0
+	}
+	return score
+}
+
+// myersDamPeq returns the optimal-string-alignment (Damerau) distance
+// between the pattern described by peq (length m, 1 <= m <= 64) and an
+// ASCII text b. Hyyrö's transposition extension: d0 additionally marks
+// rows where swapping the current and previous characters of both
+// strings aligns them, tracked through the previous column's d0 and eq.
+func myersDamPeq(peq *peqTable, m int, b string) int {
+	pv := ^uint64(0)
+	mv := uint64(0)
+	var prevD0, prevEq uint64
+	score := m
+	last := uint64(1) << uint(m-1)
+	for i := 0; i < len(b); i++ {
+		eq := peq[b[i]]
+		d0 := (((^prevD0)&eq)<<1)&prevEq |
+			(((eq & pv) + pv) ^ pv) | eq | mv
+		hp := mv | ^(d0 | pv)
+		hn := pv & d0
+		if hp&last != 0 {
+			score++
+		}
+		if hn&last != 0 {
+			score--
+		}
+		hp = hp<<1 | 1
+		hn <<= 1
+		pv = hn | ^(d0 | hp)
+		mv = hp & d0
+		prevD0 = d0
+		prevEq = eq
+	}
+	return score
+}
+
+// fitsMyers reports whether a can serve as a bit-parallel pattern: pure
+// ASCII and at most one machine word of characters.
+func fitsMyers(a string) bool {
+	return len(a) >= 1 && len(a) <= 64 && isASCII(a)
+}
+
+// myersLev runs the single-word kernel with a stack-allocated peq table;
+// the caller guarantees fitsMyers(a) and isASCII(b).
+func myersLev(a, b string) int {
+	var peq peqTable
+	buildPeq(&peq, a)
+	return myersLevPeq(&peq, len(a), b)
+}
+
+// myersDam is myersLev for the optimal-string-alignment distance.
+func myersDam(a, b string) int {
+	var peq peqTable
+	buildPeq(&peq, a)
+	return myersDamPeq(&peq, len(a), b)
+}

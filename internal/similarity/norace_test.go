@@ -1,0 +1,7 @@
+//go:build !race
+
+package similarity
+
+// raceEnabled reports whether the test binary was built with the race
+// detector; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package similarity
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation changes escape analysis and breaks
+// allocation-count assertions.
+const raceEnabled = true

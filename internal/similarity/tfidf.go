@@ -78,6 +78,61 @@ func (m *TFIDF) SimilarityTokens(ta, tb []string) float64 {
 	return dot / (na * nb)
 }
 
+// tfidfVector is the prepared form of one document: its TF·IDF vector
+// and norm, computed once. It captures the fit in effect at Prepare
+// time; refitting the measure afterwards does not update it.
+type tfidfVector struct {
+	m    *TFIDF
+	vec  map[string]float64
+	norm float64
+}
+
+// Prepare implements PreparedMeasure.
+func (m *TFIDF) Prepare(a string) Prepared {
+	toks := Tokenize(a)
+	p := &tfidfVector{m: m}
+	if len(toks) > 0 {
+		p.vec = m.vector(toks)
+		p.norm = norm(p.vec)
+	}
+	return p
+}
+
+// Similarity implements Prepared.
+func (p *tfidfVector) Similarity(b string) float64 {
+	return p.SimilarityPrepared(p.m.Prepare(b).(*tfidfVector))
+}
+
+// SimilarityPrepared implements Prepared: a sparse dot product over the
+// two precomputed vectors, iterating the smaller one.
+func (p *tfidfVector) SimilarityPrepared(o Prepared) float64 {
+	q, ok := o.(*tfidfVector)
+	if !ok {
+		return 0
+	}
+	// Mirror SimilarityTokens' edge cases exactly.
+	if len(p.vec) == 0 && len(q.vec) == 0 {
+		return 1
+	}
+	if len(p.vec) == 0 || len(q.vec) == 0 {
+		return 0
+	}
+	va, vb := p.vec, q.vec
+	if len(vb) < len(va) {
+		va, vb = vb, va
+	}
+	dot := 0.0
+	for tok, wa := range va {
+		if wb, ok := vb[tok]; ok {
+			dot += wa * wb
+		}
+	}
+	if p.norm == 0 || q.norm == 0 {
+		return 0
+	}
+	return dot / (p.norm * q.norm)
+}
+
 // vector builds the TF·IDF vector of a token multiset.
 func (m *TFIDF) vector(tokens []string) map[string]float64 {
 	tf := map[string]float64{}

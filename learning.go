@@ -1,6 +1,7 @@
 package datalink
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
@@ -63,6 +64,14 @@ type SplitterOptions = segment.Options
 // most-specific-class reduction.
 func Learn(cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology) (*Model, error) {
 	return core.Learn(cfg, ts, se, sl, ol)
+}
+
+// LearnCtx is Learn with cancellation and parallelism: the learning
+// passes fan out over cfg.Workers goroutines (0 = GOMAXPROCS) and stop
+// promptly when ctx is cancelled, returning ctx's error and no model.
+// The learned model is byte-identical at every worker count.
+func LearnCtx(ctx context.Context, cfg LearnerConfig, ts TrainingSet, se, sl *Graph, ol *Ontology) (*Model, error) {
+	return core.LearnCtx(ctx, cfg, ts, se, sl, ol)
 }
 
 // TrainingSetFromGraph extracts a training set from owl:sameAs triples
